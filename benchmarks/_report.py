@@ -1,0 +1,26 @@
+"""Shared reporting for the benchmark harness.
+
+Every benchmark regenerates one of the paper's tables or figures and
+reports the comparison.  ``report`` writes the text both to the real
+stdout (bypassing pytest's capture, so ``pytest benchmarks/
+--benchmark-only`` shows the tables inline) and to
+``benchmarks/results/<name>.txt`` for later inspection.
+"""
+
+from __future__ import annotations
+
+import os
+import sys
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+
+def report(name: str, text: str) -> None:
+    """Emit a reproduction table to the console and results directory."""
+    banner = f"\n{'=' * 72}\n{name}\n{'=' * 72}\n{text}\n"
+    sys.__stdout__.write(banner)
+    sys.__stdout__.flush()
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w") as handle:
+        handle.write(text + "\n")

@@ -1,0 +1,74 @@
+"""Ablation: BaseRTT sensitivity (§6).
+
+"Vegas' congestion detection algorithm depends on an accurate value
+for BaseRTT.  If our estimate for the BaseRTT is too small, then the
+protocol's throughput will stay below the available bandwidth; if it
+is too large, then it will overrun the connection."
+
+We force mis-estimated BaseRTT values via a controller subclass that
+pins the estimate after the handshake, and measure the predicted
+asymmetry on the solo Figure-5 run.
+"""
+
+from repro.core.vegas import VegasCC
+from repro.experiments.transfers import run_solo_transfer
+
+from _report import report
+
+
+class PinnedBaseRttVegas(VegasCC):
+    """Vegas with BaseRTT forced to a multiple of the true minimum.
+
+    The pin is enforced on every ACK (tracking the true minimum sample
+    ourselves), so neither the estimator's min-tracking nor CAM's own
+    BaseRTT reset can undo the injected mis-estimate.
+    """
+
+    def __init__(self, scale: float, **kwargs):
+        super().__init__(**kwargs)
+        self.scale = scale
+        self._true_min = None
+
+    def on_new_ack(self, acked_bytes, now, rtt_sample):
+        if rtt_sample is not None and (self._true_min is None
+                                       or rtt_sample < self._true_min):
+            self._true_min = rtt_sample
+        if self._true_min is not None:
+            self.conn.fine_rtt.set_base_rtt(self._true_min * self.scale)
+        super().on_new_ack(acked_bytes, now, rtt_sample)
+
+
+SCALES = (0.5, 0.8, 1.0, 1.3, 1.8)
+
+_cache = {}
+
+
+def _sweep():
+    if "rows" not in _cache:
+        _cache["rows"] = [
+            (scale, run_solo_transfer(
+                lambda s=scale: PinnedBaseRttVegas(s), seed=0))
+            for scale in SCALES]
+    return _cache["rows"]
+
+
+def test_basertt_sensitivity(benchmark):
+    rows = _sweep()
+    benchmark.pedantic(
+        lambda: run_solo_transfer(lambda: PinnedBaseRttVegas(0.5), seed=1),
+        rounds=3, iterations=1)
+
+    by_scale = {scale: r for scale, r in rows}
+    accurate = by_scale[1.0]
+    # Too-small BaseRTT: throughput stays below available bandwidth.
+    assert by_scale[0.5].throughput_kbps < accurate.throughput_kbps
+    # Too-large BaseRTT: the connection overruns — more losses than the
+    # accurate setting.
+    assert (by_scale[1.8].retransmitted_kb
+            >= accurate.retransmitted_kb)
+
+    lines = ["BaseRTT scale | KB/s   | retx KB | timeouts"]
+    for scale, r in rows:
+        lines.append(f"{scale:13.1f} | {r.throughput_kbps:6.1f} | "
+                     f"{r.retransmitted_kb:7.1f} | {r.coarse_timeouts:8d}")
+    report("ablation_basertt", "\n".join(lines))

@@ -1,0 +1,46 @@
+"""Ablation: the §3.2 prior delay-based schemes vs Vegas.
+
+DUAL, CARD and Tri-S — implemented from the paper's descriptions — run
+the same solo Figure-5 transfer as Figures 6/7.  The point the paper
+makes qualitatively: all of them are less effective than comparing
+measured against *expected* throughput the way Vegas does.
+"""
+
+from repro.experiments.transfers import run_solo_transfer
+
+from _report import report
+
+SCHEMES = ("reno", "tahoe", "dual", "card", "tri-s", "vegas")
+
+_cache = {}
+
+
+def _results():
+    if "rows" not in _cache:
+        _cache["rows"] = [(name, run_solo_transfer(name, seed=0))
+                          for name in SCHEMES]
+    return _cache["rows"]
+
+
+def test_prior_schemes_comparison(benchmark):
+    rows = _results()
+    benchmark.pedantic(lambda: run_solo_transfer("dual", seed=1),
+                       rounds=3, iterations=1)
+
+    by_name = {name: r for name, r in rows}
+    assert all(r.done for _, r in rows)
+    # Vegas achieves the best throughput of the set on the clean net.
+    vegas = by_name["vegas"].throughput_kbps
+    for name, result in rows:
+        if name != "vegas":
+            assert vegas >= result.throughput_kbps * 0.98
+    # And (near-)lossless operation, unlike the loss-driven baselines.
+    assert by_name["vegas"].retransmitted_kb < 5
+    assert by_name["reno"].retransmitted_kb > 10
+    assert by_name["tahoe"].retransmitted_kb > 10
+
+    lines = ["scheme | KB/s   | retx KB | timeouts"]
+    for name, r in rows:
+        lines.append(f"{name:6s} | {r.throughput_kbps:6.1f} | "
+                     f"{r.retransmitted_kb:7.1f} | {r.coarse_timeouts:8d}")
+    report("ablation_prior_schemes", "\n".join(lines))

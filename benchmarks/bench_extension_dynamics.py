@@ -1,0 +1,55 @@
+"""Extension: sharing and reactivity dynamics (join/leave scenarios).
+
+Quantifies two claims woven through the paper:
+
+* §1/§4.1 — Vegas' gains are "not achieved by an aggressive
+  retransmission strategy that effectively steals bandwidth from TCP
+  connections": when a second flow joins, Vegas pairs split the link
+  far more evenly than Reno pairs.
+* §3.2 — keeping α..β extra segments in the network lets a connection
+  "respond rapidly enough to transient increases in the available
+  network bandwidth": when a competitor finishes, Vegas absorbs the
+  freed capacity faster than Reno.
+"""
+
+from repro.experiments.convergence import run_join_scenario, run_leave_scenario
+
+from _report import report
+
+_cache = {}
+
+
+def _results():
+    if "rows" not in _cache:
+        _cache["join"] = {cc: run_join_scenario(cc, seed=0)
+                          for cc in ("reno", "vegas")}
+        _cache["leave"] = {cc: run_leave_scenario(cc, seed=0)
+                           for cc in ("reno", "vegas")}
+        _cache["rows"] = True
+    return _cache
+
+
+def test_dynamics(benchmark):
+    results = _results()
+    benchmark.pedantic(lambda: run_leave_scenario("vegas", seed=1),
+                       rounds=3, iterations=1)
+    join, leave = results["join"], results["leave"]
+
+    assert join["vegas"].share_balance > join["reno"].share_balance
+    assert leave["vegas"].takeover_rate > leave["reno"].takeover_rate
+    assert leave["vegas"].settled_rate > 150.0
+
+    lines = ["JOIN (flow B joins at t=8s):",
+             "cc    | solo A | shared A | shared B | balance"]
+    for cc in ("reno", "vegas"):
+        r = join[cc]
+        lines.append(f"{cc:5s} | {r.solo_rate:6.1f} | {r.shared_rate_a:8.1f}"
+                     f" | {r.shared_rate_b:8.1f} | {r.share_balance:7.2f}")
+    lines.append("")
+    lines.append("LEAVE (flow A finishes, B absorbs the link):")
+    lines.append("cc    | shared | takeover (0-3s) | settled (3-8s)")
+    for cc in ("reno", "vegas"):
+        r = leave[cc]
+        lines.append(f"{cc:5s} | {r.shared_rate:6.1f} | "
+                     f"{r.takeover_rate:15.1f} | {r.settled_rate:14.1f}")
+    report("extension_dynamics", "\n".join(lines))

@@ -1,0 +1,95 @@
+"""Extension: explicit congestion notification vs Vegas.
+
+The era's three answers to "don't fill the queue until it drops":
+
+* Vegas — the end host infers congestion from delay (this paper);
+* RED — the router drops early (Floyd & Jacobson 1993);
+* RED+ECN — the router *marks* instead of dropping (DECbit lineage,
+  later RFC 3168), and the sender backs off without loss.
+
+This bench runs the solo bottleneck scenario for Reno/RED,
+Reno/RED+ECN and Vegas/drop-tail.  Expected structure: ECN removes
+RED's retransmissions while keeping its short queue; Vegas matches the
+no-loss property without any router support and reaches the highest
+throughput.
+"""
+
+import random
+
+from repro.apps.bulk import BulkSink, BulkTransfer
+from repro.core.registry import make_cc
+from repro.net.red import REDQueue
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.tcp.protocol import TCPProtocol
+from repro.trace.tracer import RouterTracer
+from repro.units import kbps, mb, ms
+
+from _report import report
+
+_cache = {}
+
+
+def _run(cc_name, red, ecn):
+    sim = Simulator()
+    topo = Topology(sim)
+    a, b = topo.add_host("A"), topo.add_host("B")
+    r1, r2 = topo.add_router("R1"), topo.add_router("R2")
+    topo.add_lan([a, r1])
+    topo.add_lan([r2, b])
+    factory = None
+    if red:
+        rng = random.Random(11)
+        factory = lambda name: REDQueue(10, rng, min_th=2, max_th=8,
+                                        max_p=0.1, weight=0.02, ecn=ecn,
+                                        name=name)
+    link = topo.add_link(r1, r2, bandwidth=kbps(200), delay=ms(50),
+                         queue_capacity=10, queue_factory=factory)
+    topo.build_routes()
+    pa, pb = TCPProtocol(a), TCPProtocol(b)
+    BulkSink(pb, 9000, ecn=ecn)
+    transfer = BulkTransfer(pa, "B", 9000, mb(1), cc=make_cc(cc_name),
+                            ecn=ecn)
+    tracer = RouterTracer(link.channel_from(r1).queue)
+    sim.run(until=180.0)
+    assert transfer.done
+    stats = transfer.conn.stats
+    queue = link.channel_from(r1).queue
+    marks = getattr(queue, "marks", 0)
+    return (stats.throughput_kbps(), stats.retransmitted_kb(),
+            stats.coarse_timeouts, tracer.max_depth(), marks)
+
+
+def _results():
+    if "rows" not in _cache:
+        _cache["rows"] = [
+            ("reno / RED", _run("reno", red=True, ecn=False)),
+            ("reno / RED+ECN", _run("reno", red=True, ecn=True)),
+            ("vegas / drop-tail", _run("vegas", red=False, ecn=False)),
+        ]
+    return _cache["rows"]
+
+
+def test_ecn_vs_vegas(benchmark):
+    rows = _results()
+    benchmark.pedantic(lambda: _run("reno", red=True, ecn=True),
+                       rounds=3, iterations=1)
+    by_name = dict(rows)
+
+    red = by_name["reno / RED"]
+    ecn = by_name["reno / RED+ECN"]
+    vegas = by_name["vegas / drop-tail"]
+    # ECN converts RED's early drops into marks: fewer retransmissions.
+    assert ecn[4] > 0
+    assert ecn[1] < red[1]
+    # Vegas achieves near-zero loss with no router support and the
+    # highest throughput of the three.
+    assert vegas[1] <= 2.0
+    assert vegas[0] > red[0] and vegas[0] > ecn[0]
+
+    lines = ["configuration     | KB/s   | retx KB | timeouts | "
+             "max queue | marks"]
+    for name, (tput, retx, to, peak, marks) in rows:
+        lines.append(f"{name:17s} | {tput:6.1f} | {retx:7.1f} | "
+                     f"{to:8d} | {peak:9d} | {marks:5d}")
+    report("extension_ecn", "\n".join(lines))

@@ -1,0 +1,101 @@
+"""Extension: RED at the router vs Vegas at the end host.
+
+The paper's simulator supports pluggable queueing disciplines; RED
+(Floyd & Jacobson 1993) is the era's router-side answer to the same
+problem Vegas solves end-to-end — keeping bottleneck queues short.
+This bench runs the Figure-6/7 solo scenario three ways:
+
+* Reno over drop-tail (the paper's baseline),
+* Reno over RED (router-assisted early feedback),
+* Vegas over drop-tail (end-host restraint).
+
+Expected structure: RED shortens Reno's average queue (lower latency)
+at some throughput cost from the early drops; Vegas achieves the
+short queue *and* the highest throughput with no drops at all.
+"""
+
+import random
+
+from repro.apps.bulk import BulkSink, BulkTransfer
+from repro.core.registry import make_cc
+from repro.net.red import REDQueue
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.tcp.protocol import TCPProtocol
+from repro.trace.tracer import RouterTracer
+from repro.units import kbps, mb, ms
+
+from _report import report
+
+_cache = {}
+
+
+def _run(cc_name, red):
+    sim = Simulator()
+    topo = Topology(sim)
+    a, b = topo.add_host("A"), topo.add_host("B")
+    r1, r2 = topo.add_router("R1"), topo.add_router("R2")
+    topo.add_lan([a, r1])
+    topo.add_lan([r2, b])
+    factory = None
+    if red:
+        rng = random.Random(11)
+        factory = lambda name: REDQueue(10, rng, min_th=2, max_th=8,
+                                        max_p=0.1, weight=0.02, name=name)
+    link = topo.add_link(r1, r2, bandwidth=kbps(200), delay=ms(50),
+                         queue_capacity=10, queue_factory=factory)
+    topo.build_routes()
+    pa, pb = TCPProtocol(a), TCPProtocol(b)
+    BulkSink(pb, 9000)
+    transfer = BulkTransfer(pa, "B", 9000, mb(1), cc=make_cc(cc_name))
+    tracer = RouterTracer(link.channel_from(r1).queue)
+    sim.run(until=120.0)
+    assert transfer.done
+    stats = transfer.conn.stats
+    return (stats.throughput_kbps(), stats.retransmitted_kb(),
+            stats.coarse_timeouts, tracer.mean_depth(1.0),
+            tracer.max_depth())
+
+
+def _results():
+    if "rows" not in _cache:
+        _cache["rows"] = [
+            ("reno / drop-tail", _run("reno", red=False)),
+            ("reno / RED", _run("reno", red=True)),
+            ("vegas / drop-tail", _run("vegas", red=False)),
+        ]
+    return _cache["rows"]
+
+
+def test_red_vs_vegas(benchmark):
+    rows = _results()
+    benchmark.pedantic(lambda: _run("reno", red=True), rounds=3,
+                       iterations=1)
+    by_name = dict(rows)
+
+    reno_dt = by_name["reno / drop-tail"]
+    reno_red = by_name["reno / RED"]
+    vegas_dt = by_name["vegas / drop-tail"]
+    # RED shortens Reno's standing queue (router-side early feedback).
+    assert reno_red[3] < reno_dt[3]
+    # Reno over drop-tail fills the buffers to the brim ("Reno
+    # increases its window size until there are losses — which means
+    # all the router buffers are being used", §6); Vegas never does.
+    assert reno_dt[4] >= 10
+    assert vegas_dt[4] < reno_dt[4]
+    # Vegas beats both Reno variants on throughput, with no losses.
+    assert vegas_dt[0] > reno_dt[0] and vegas_dt[0] > reno_red[0]
+    assert vegas_dt[1] <= 2.0
+
+    lines = ["configuration     | KB/s   | retx KB | timeouts | "
+             "mean queue | max queue"]
+    for name, (tput, retx, to, depth, peak) in rows:
+        lines.append(f"{name:17s} | {tput:6.1f} | {retx:7.1f} | "
+                     f"{to:8d} | {depth:10.2f} | {peak:9d}")
+    lines.append("")
+    lines.append("Reno's low *mean* queue is an artifact of its "
+                 "oscillation (full -> loss -> drained); its *peak* is "
+                 "the full buffer.  Vegas holds a steady alpha..beta "
+                 "segments — short peaks and no loss — while RED buys "
+                 "Reno a shorter queue at a throughput cost.")
+    report("extension_red", "\n".join(lines))

@@ -1,0 +1,103 @@
+"""§6 extension: selective acknowledgements vs (and with) Vegas.
+
+The paper's §6 makes three testable observations about SACK:
+
+1. "It only relates to Vegas' retransmission mechanism" — SACK's win
+   shows on multi-loss recovery, not on clean paths.
+2. "There is little reason to believe that selective ACKs can
+   significantly improve on Vegas in terms of unnecessary
+   retransmissions, as there were only 6KB per MB unnecessarily
+   retransmitted by Vegas in our Internet experiments."
+3. "It would be interesting to see how Vegas and the selective ACK
+   mechanism work in tandem."
+
+This bench runs the scattered-multi-loss scenario for reno, newreno,
+reno-sack, vegas, and vegas-sack, and measures unnecessary
+retransmissions (segments arriving at the receiver entirely below its
+cumulative ACK point) on the Internet path.
+"""
+
+from repro.apps.bulk import BulkSink, BulkTransfer
+from repro.core.registry import make_cc
+from repro.experiments.figure5 import build_figure5
+
+import sys
+import os
+
+sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
+
+from _report import report
+from helpers import make_pair  # noqa: E402
+
+VARIANTS = (("reno", False), ("newreno", False), ("reno-sack", True),
+            ("vegas", False), ("vegas-sack", True))
+
+_cache = {}
+
+
+def _scattered_loss(cc_name, sack, drops=(5, 9, 13, 17)):
+    pair = make_pair(queue_capacity=30)
+    sink = BulkSink(pair.proto_b, 9000, sack=sack)
+    transfer = BulkTransfer(pair.proto_a, "B", 9000, 256 * 1024,
+                            cc=make_cc(cc_name), sack=sack)
+    queue = pair.forward_queue
+    original = queue.offer
+    state = {"n": 0}
+    dropset = set(drops)
+
+    def lossy(packet, now):
+        if now > 0.8 and packet.size > 500:
+            state["n"] += 1
+            if state["n"] in dropset:
+                return False
+        return original(packet, now)
+
+    queue.offer = lossy
+    pair.sim.run(until=120.0)
+    assert transfer.done
+    receiver = sink.connections[0]
+    return transfer.conn.stats, receiver.recv.duplicate_segments
+
+
+def _results():
+    if "rows" not in _cache:
+        _cache["rows"] = [(name, sack) + _scattered_loss(name, sack)
+                          for name, sack in VARIANTS]
+    return _cache["rows"]
+
+
+def test_sack_extension(benchmark):
+    rows = _results()
+    benchmark.pedantic(lambda: _scattered_loss("vegas-sack", True),
+                       rounds=3, iterations=1)
+    by_name = {name: (stats, dups) for name, _, stats, dups in rows}
+
+    # Observation 3: the tandem works — vegas-sack recovers the
+    # scattered losses without a coarse timeout and at least as fast
+    # as any other variant here.
+    tandem, _ = by_name["vegas-sack"]
+    assert tandem.coarse_timeouts == 0
+    fastest = min(stats.transfer_seconds for _, _, stats, _ in rows)
+    assert tandem.transfer_seconds <= fastest * 1.05
+
+    # Observation 1: SACK's benefit is in recovery: plain reno takes a
+    # timeout here, reno-sack does not.
+    assert by_name["reno"][0].coarse_timeouts >= 1
+    assert by_name["reno-sack"][0].coarse_timeouts == 0
+
+    # Observation 2: unnecessary retransmissions (duplicate segments
+    # at the receiver) are a tiny fraction of the transfer for plain
+    # Vegas (the paper: 6 KB per MB), and SACK reduces them further.
+    assert by_name["vegas"][1] <= 0.04 * 256  # <= 4% of the segments
+    assert by_name["vegas-sack"][1] <= by_name["vegas"][1]
+
+    lines = ["variant    | time s | timeouts | retx KB | dup segs at rcvr"]
+    for name, sack, stats, dups in rows:
+        lines.append(f"{name:10s} | {stats.transfer_seconds:6.2f} | "
+                     f"{stats.coarse_timeouts:8d} | "
+                     f"{stats.retransmitted_kb():7.1f} | {dups:5d}")
+    lines.append("")
+    lines.append("(256 KB transfer, four scattered losses; §6: SACK only "
+                 "relates to the retransmission mechanism, and Vegas "
+                 "already retransmits little unnecessarily)")
+    report("extension_sack", "\n".join(lines))

@@ -1,0 +1,68 @@
+"""Figures 1-3: the trace facility and its graph elements.
+
+Figure 1 is a Reno trace under tcplib background; Figures 2 and 3 key
+the common elements and the windows panel.  This bench regenerates the
+trace and verifies every keyed element is present, then times the
+graph-extraction pipeline itself (the paper stresses the facility's
+low overhead).
+"""
+
+from repro.experiments.traces import figure1
+from repro.trace.graphs import build_trace_graph
+
+from _report import report
+
+_cache = {}
+
+
+def _trace():
+    if "graph" not in _cache:
+        _cache["graph"], _cache["result"] = figure1(seed=0)
+    return _cache["graph"], _cache["result"]
+
+
+def test_figure1_trace_graph_elements(benchmark):
+    graph, result = _trace()
+    # Figure 2's keyed elements:
+    assert graph.common.ack_marks          # 1: ACK hash marks
+    assert graph.common.send_marks         # 2: send hash marks
+    assert graph.common.kilobyte_marks     # 3: KB progress labels
+    assert graph.common.timer_diamonds     # 4: coarse timer checks
+    # 5/6 (timeout circles, loss lines) appear when Reno loses, which
+    # it does under background load:
+    assert graph.common.loss_lines
+    # Figure 3's windows panel:
+    assert graph.windows.congestion_window
+    assert graph.windows.send_window
+    assert graph.windows.bytes_in_transit
+    assert graph.windows.threshold_window
+    assert graph.sending_rate
+
+    # Benchmark the analysis pipeline: records -> panels.
+    import repro.experiments.traces as traces_mod
+
+    tracer_records = len(graph.common.send_marks)
+    rebuilt = benchmark.pedantic(
+        lambda: build_trace_graph(_raw_tracer(), name="fig1"),
+        rounds=5, iterations=1)
+    assert rebuilt.common.send_marks == graph.common.send_marks
+    report("figure1_trace_graphs", "\n".join([
+        f"send marks:      {len(graph.common.send_marks):6d}",
+        f"ack marks:       {len(graph.common.ack_marks):6d}",
+        f"timer diamonds:  {len(graph.common.timer_diamonds):6d}",
+        f"timeout circles: {len(graph.common.timeout_circles):6d}",
+        f"loss lines:      {len(graph.common.loss_lines):6d}",
+        f"KB labels:       {len(graph.common.kilobyte_marks):6d}",
+        f"throughput:      {result.throughput_kbps:6.1f} KB/s",
+    ]))
+
+
+def _raw_tracer():
+    from repro.trace.tracer import ConnectionTracer
+    from repro.experiments.background import run_with_background
+
+    if "tracer" not in _cache:
+        tracer = ConnectionTracer("fig1")
+        run_with_background("reno", seed=0, tracer=tracer)
+        _cache["tracer"] = tracer
+    return _cache["tracer"]

@@ -1,0 +1,75 @@
+"""Figure 4: Vegas' fine-grained retransmission mechanism (§3.1).
+
+The classic failure this technique repairs: *two* segments lost from
+one window.  Plain Reno fast-retransmits the first loss, but the
+partial ACK terminates fast recovery and there are never three more
+duplicate ACKs for the second loss — so Reno stalls until the coarse
+500 ms-granularity timer fires (the paper measured ~1100 ms for such
+recoveries).  Vegas, "when a non-duplicate ACK is received, if it is
+the first or second one after a retransmission", checks the next
+segment's fine-grained clock and retransmits it immediately.
+
+The bench drops two consecutive segments from a small-window transfer
+and compares recovery.
+"""
+
+from repro.apps.bulk import BulkSink, BulkTransfer
+from repro.core.reno import RenoCC
+from repro.core.vegas import VegasCC
+from repro.experiments.figure5 import build_figure5
+
+from _report import report
+
+
+def _double_loss(cc):
+    """Drop two back-to-back segments mid-transfer; return stats."""
+    net = build_figure5(buffers=30, seed=3)
+    BulkSink(net.protocol("Host1b"), 7001)
+    transfer = BulkTransfer(net.protocol("Host1a"), "Host1b", 7001,
+                            128 * 1024, cc=cc,
+                            sndbuf=6 * 1024, rcvbuf=6 * 1024)
+    queue = net.forward_queue
+    original = queue.offer
+    state = {"drops": 0}
+
+    def lossy(packet, now):
+        if (state["drops"] < 2 and now > 2.6
+                and packet.src == "Host1a" and packet.size > 500):
+            state["drops"] += 1
+            return False
+        return original(packet, now)
+
+    queue.offer = lossy
+    net.sim.run(until=120.0)
+    assert transfer.done
+    assert state["drops"] == 2
+    return transfer.conn.stats
+
+
+def test_figure4_early_retransmission(benchmark):
+    reno_stats = _double_loss(RenoCC())
+    vegas_stats = benchmark.pedantic(
+        lambda: _double_loss(VegasCC()), rounds=3, iterations=1)
+
+    # Reno: fast retransmit for the first loss, coarse timeout for the
+    # second.  Vegas: the post-retransmission check catches it.
+    assert reno_stats.coarse_timeouts >= 1
+    assert vegas_stats.coarse_timeouts == 0
+    assert vegas_stats.fine_retransmits >= 1
+
+    reno_time = reno_stats.transfer_seconds
+    vegas_time = vegas_stats.transfer_seconds
+    assert vegas_time < reno_time
+    report("figure4_retransmit_mechanism", "\n".join([
+        "128 KB transfer, 6 KB window, two consecutive segments lost:",
+        f"  Reno : {reno_time:6.2f} s total, coarse timeouts="
+        f"{reno_stats.coarse_timeouts}, fast retx="
+        f"{reno_stats.fast_retransmits}, fine retx="
+        f"{reno_stats.fine_retransmits}",
+        f"  Vegas: {vegas_time:6.2f} s total, coarse timeouts="
+        f"{vegas_stats.coarse_timeouts}, fast retx="
+        f"{vegas_stats.fast_retransmits}, fine retx="
+        f"{vegas_stats.fine_retransmits}",
+        "  (paper §3.1: Reno averaged 1100 ms for multi-drop recoveries;",
+        "   less than 300 ms would have been correct with a fine clock)",
+    ]))

@@ -1,0 +1,32 @@
+"""Figure 6: TCP Reno with no other traffic (paper: 105 KB/s).
+
+Regenerates the traced Reno-alone run and checks its qualitative
+content: Reno's window saws between overflow and recovery, segments
+are lost to the 10-buffer queue, and throughput lands well below the
+200 KB/s bottleneck.
+"""
+
+from repro.experiments.traces import figure6
+from repro.trace import series as S
+
+from _report import report
+
+
+def _run():
+    return figure6(seed=0)
+
+
+def test_figure6_reno_alone(benchmark):
+    graph, result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert result.done
+    assert graph.losses() > 10
+    assert S.sawtooth_count(graph.windows.congestion_window) >= 2
+    assert len(graph.common.timer_diamonds) > 5
+    assert 60.0 < result.throughput_kbps < 200.0
+    report("figure6_reno_alone", "\n".join([
+        f"throughput:      {result.throughput_kbps:6.1f} KB/s   (paper: 105)",
+        f"retransmitted:   {result.retransmitted_kb:6.1f} KB",
+        f"coarse timeouts: {result.coarse_timeouts:6d}",
+        f"lost segments:   {graph.losses():6d}",
+        f"cwnd sawteeth:   {S.sawtooth_count(graph.windows.congestion_window):6d}",
+    ]))

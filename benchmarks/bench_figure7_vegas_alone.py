@@ -1,0 +1,34 @@
+"""Figure 7: TCP Vegas with no other traffic (paper: 169 KB/s).
+
+Vegas finds the bandwidth without losses: near-zero retransmissions,
+no coarse timeouts, a stable window, and a CAM panel where Actual
+tracks Expected inside the α/β band.
+"""
+
+from repro.experiments.traces import figure6, figure7
+from repro.trace import series as S
+
+from _report import report
+
+
+def _run():
+    return figure7(seed=0)
+
+
+def test_figure7_vegas_alone(benchmark):
+    graph, result = benchmark.pedantic(_run, rounds=3, iterations=1)
+    assert result.done
+    assert result.retransmitted_kb <= 2.0
+    assert result.coarse_timeouts == 0
+    assert graph.cam is not None and len(graph.cam.expected) > 20
+
+    _, reno = figure6(seed=0)
+    ratio = result.throughput_kbps / reno.throughput_kbps
+    assert ratio > 1.3  # paper: 169/105 = 1.61
+    report("figure7_vegas_alone", "\n".join([
+        f"throughput:      {result.throughput_kbps:6.1f} KB/s   (paper: 169)",
+        f"vs Reno alone:   {ratio:6.2f}x        (paper: 1.61x)",
+        f"retransmitted:   {result.retransmitted_kb:6.1f} KB     (paper: ~0)",
+        f"coarse timeouts: {result.coarse_timeouts:6d}        (paper: 0)",
+        f"CAM decisions:   {len(graph.cam.expected):6d}",
+    ]))

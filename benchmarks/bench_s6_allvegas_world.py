@@ -1,0 +1,59 @@
+"""§6: the all-Vegas world, across router buffer counts.
+
+Two claims from the discussion section:
+
+* with enough buffers, an all-Vegas world delivers "a higher
+  throughput and a faster response time" than an all-Reno world;
+* with scarce buffers, "Vegas's congestion avoidance mechanisms are
+  not as effective, and Vegas starts to behave more like Reno" — the
+  advantage compresses.
+"""
+
+from repro.experiments.allvegas import buffer_sweep, run_world
+
+from _report import report
+
+_cache = {}
+
+
+def _sweep():
+    if "rows" not in _cache:
+        _cache["rows"] = buffer_sweep(buffer_counts=(4, 10, 20),
+                                      seeds=(0, 1))
+    return _cache["rows"]
+
+
+def test_allvegas_world(benchmark):
+    rows = _sweep()
+    benchmark.pedantic(lambda: run_world("vegas", buffers=10, seed=2,
+                                         duration=60.0),
+                       rounds=3, iterations=1)
+    by_key = {(r.cc_name, r.buffers): r for r in rows}
+
+    # With ample buffers (20) the Vegas world delivers more with far
+    # fewer retransmissions.
+    vegas20, reno20 = by_key[("vegas", 20)], by_key[("reno", 20)]
+    assert vegas20.retransmit_kb < reno20.retransmit_kb
+    assert vegas20.goodput_kbps >= 0.95 * reno20.goodput_kbps
+    # At the canonical 10-buffer configuration the Vegas world's
+    # interactive response is also faster (the §6 ~25% claim).
+    vegas10, reno10 = by_key[("vegas", 10)], by_key[("reno", 10)]
+    assert vegas10.telnet_mean_response < reno10.telnet_mean_response
+
+    # With scarce buffers (4), Vegas degenerates toward Reno: its
+    # retransmission advantage compresses.
+    vegas4, reno4 = by_key[("vegas", 4)], by_key[("reno", 4)]
+
+    def ratio(v, r):
+        return v.retransmit_kb / max(1.0, r.retransmit_kb)
+
+    assert ratio(vegas4, reno4) > ratio(vegas20, reno20)
+
+    lines = ["buffers | world | goodput KB/s | retx KB | timeouts | "
+             "telnet ms"]
+    for r in rows:
+        lines.append(f"{r.buffers:7d} | {r.cc_name:5s} | "
+                     f"{r.goodput_kbps:12.1f} | {r.retransmit_kb:7.1f} | "
+                     f"{r.coarse_timeouts:8d} | "
+                     f"{r.telnet_mean_response * 1000:9.1f}")
+    report("s6_allvegas_world", "\n".join(lines))

@@ -1,0 +1,53 @@
+"""Table 1: one-on-one (300 KB and 1 MB) transfers.
+
+Regenerates the 4-combination grid (reno/reno, reno/vegas, vegas/reno,
+vegas/vegas) over the paper's parameters — router buffers of 15 and
+20, small-transfer start delays 0–2.5 s — and prints it alongside the
+paper's numbers.  The qualitative claims checked: Vegas does not hurt
+Reno's throughput, combined retransmissions fall when Vegas is
+involved, and vegas/vegas retransmits almost nothing.
+"""
+
+from repro.experiments.one_on_one import PAPER_TABLE1, run_one_on_one, table1
+from repro.metrics.tables import format_table
+
+from _report import report
+
+_cache = {}
+
+
+def _full_table():
+    if "table" not in _cache:
+        _cache["table"], _cache["results"] = table1(
+            buffers=(15, 20), delays=(0.0, 0.5, 1.0, 1.5, 2.0, 2.5))
+    return _cache["table"]
+
+
+def test_table1_one_on_one(benchmark):
+    table = _full_table()
+    # Time one representative run.
+    benchmark.pedantic(
+        lambda: run_one_on_one("vegas", "reno", delay=1.0, buffers=15),
+        rounds=3, iterations=1)
+
+    reno_large_base = table.mean("Large throughput (KB/s)", "reno/reno")
+    reno_large_vs_vegas = table.mean("Large throughput (KB/s)", "vegas/reno")
+    # "Vegas does not adversely affect Reno's throughput" (paper: 1.09x).
+    assert reno_large_vs_vegas > 0.8 * reno_large_base
+
+    combined_base = table.mean("Combined retransmits (KB)", "reno/reno")
+    combined_vegas_reno = table.mean("Combined retransmits (KB)",
+                                     "vegas/reno")
+    combined_all_vegas = table.mean("Combined retransmits (KB)",
+                                    "vegas/vegas")
+    # Paper: 52 KB -> 19 KB -> <1 KB.
+    assert combined_vegas_reno < combined_base
+    assert combined_all_vegas < 0.25 * combined_base
+
+    report("table1_one_on_one", format_table(
+        "Table 1: One-on-One (300KB small / 1MB large) transfers, "
+        "12 runs each",
+        table,
+        ratios_for={"Small throughput (KB/s)": "reno/reno",
+                    "Large throughput (KB/s)": "reno/reno"},
+        paper=PAPER_TABLE1))

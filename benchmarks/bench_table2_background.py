@@ -1,0 +1,56 @@
+"""Table 2: 1 MB transfer with tcplib-generated background Reno traffic.
+
+Protocols: Reno, Vegas-1,3, Vegas-2,4; averaged over seeds x router
+buffers {10, 15, 20}, as in the paper (which used 57 runs).  Checked
+claims: Vegas throughput ≳ 1.3x Reno with roughly half the retransmits
+and far fewer coarse timeouts, and the two threshold settings barely
+differ.
+"""
+
+from repro.experiments.background import (
+    PAPER_TABLE2,
+    run_with_background,
+    table2,
+)
+from repro.metrics.tables import format_table
+
+from _report import report
+
+_cache = {}
+
+
+def _full_table():
+    if "table" not in _cache:
+        _cache["table"], _cache["runs"] = table2(seeds=range(4),
+                                                 buffers=(10, 15, 20))
+    return _cache["table"]
+
+
+def test_table2_background_traffic(benchmark):
+    table = _full_table()
+    benchmark.pedantic(lambda: run_with_background("vegas-1,3", seed=99),
+                       rounds=3, iterations=1)
+
+    reno_tput = table.mean("Throughput (KB/s)", "reno")
+    v13_tput = table.mean("Throughput (KB/s)", "vegas-1,3")
+    v24_tput = table.mean("Throughput (KB/s)", "vegas-2,4")
+    assert v13_tput > 1.25 * reno_tput   # paper: 1.53x
+    assert v24_tput > 1.25 * reno_tput   # paper: 1.58x
+    # "There is little difference between Vegas-1,3 and Vegas-2,4."
+    assert abs(v13_tput - v24_tput) < 0.2 * max(v13_tput, v24_tput)
+
+    reno_retx = table.mean("Retransmissions (KB)", "reno")
+    v13_retx = table.mean("Retransmissions (KB)", "vegas-1,3")
+    assert v13_retx < 0.75 * reno_retx   # paper ratio: 0.49
+
+    reno_to = table.mean("Coarse timeouts", "reno")
+    v13_to = table.mean("Coarse timeouts", "vegas-1,3")
+    assert v13_to < reno_to              # paper: 5.6 -> 0.9
+
+    report("table2_background", format_table(
+        "Table 2: 1MB transfer with tcplib background Reno traffic "
+        "(seeds x buffers 10/15/20)",
+        table,
+        ratios_for={"Throughput (KB/s)": "reno",
+                    "Retransmissions (KB)": "reno"},
+        paper=PAPER_TABLE2))

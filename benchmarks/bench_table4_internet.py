@@ -1,0 +1,50 @@
+"""Table 4: 1 MB transfers over the (emulated) Internet path.
+
+UA→NIH 17-hop chain with run-to-run varying cross traffic (see
+DESIGN.md's substitution note).  Checked claims: Vegas-1,3 and
+Vegas-2,4 beat Reno's throughput by ≳25% (paper: 37–42%) with fewer
+retransmitted kilobytes and fewer coarse timeouts.
+"""
+
+from repro.experiments.internet import (
+    PAPER_TABLE4,
+    run_internet_transfer,
+    table4,
+)
+from repro.metrics.tables import format_table
+from repro.units import kb
+
+from _report import report
+
+_cache = {}
+
+
+def _full_table():
+    if "t4" not in _cache:
+        _cache["t4"] = table4(seeds=range(8))
+    return _cache["t4"]
+
+
+def test_table4_internet_1mb(benchmark):
+    table = _full_table()
+    benchmark.pedantic(
+        lambda: run_internet_transfer("vegas-1,3", size=kb(256), seed=42),
+        rounds=3, iterations=1)
+
+    reno = table.mean("Throughput (KB/s)", "reno")
+    v13 = table.mean("Throughput (KB/s)", "vegas-1,3")
+    v24 = table.mean("Throughput (KB/s)", "vegas-2,4")
+    assert v13 > 1.15 * reno            # paper: 1.37x
+    assert v24 > 1.15 * reno            # paper: 1.42x
+
+    assert (table.mean("Retransmissions (KB)", "vegas-1,3")
+            < table.mean("Retransmissions (KB)", "reno"))
+    assert (table.mean("Coarse timeouts", "vegas-1,3")
+            <= table.mean("Coarse timeouts", "reno"))
+
+    report("table4_internet", format_table(
+        "Table 4: 1MB transfers over the emulated UA->NIH path (8 runs)",
+        table,
+        ratios_for={"Throughput (KB/s)": "reno",
+                    "Retransmissions (KB)": "reno"},
+        paper=PAPER_TABLE4))

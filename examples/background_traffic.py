@@ -1,0 +1,39 @@
+#!/usr/bin/env python3
+"""A measured transfer competing with tcplib-style background traffic.
+
+Reproduces the paper's §4.2 scenario in miniature: the TRAFFIC
+protocol (TELNET/FTP/SMTP/NNTP conversations with exponential
+interarrivals) loads the Figure-5 bottleneck between Host1a and
+Host1b, while a 1 MB transfer runs between Host2a and Host2b — once
+with Reno, once with Vegas-1,3 and once with Vegas-2,4.
+
+Run:  python examples/background_traffic.py
+"""
+
+from repro.experiments.background import run_with_background
+
+
+def main():
+    print("1 MB transfer vs tcplib background Reno traffic "
+          "(Figure-5 network, 10 buffers)\n")
+    print(f"{'protocol':<12} {'KB/s':>7} {'retx KB':>8} {'timeouts':>9} "
+          f"{'bg convs':>9} {'bg KB/s':>8}")
+    baseline = None
+    for proto in ("reno", "vegas-1,3", "vegas-2,4"):
+        run = run_with_background(proto, seed=1)
+        transfer = run.transfer
+        print(f"{proto:<12} {transfer.throughput_kbps:7.1f} "
+              f"{transfer.retransmitted_kb:8.1f} "
+              f"{transfer.coarse_timeouts:9d} "
+              f"{run.background_conversations:9d} "
+              f"{run.background_throughput_kbps:8.1f}")
+        if proto == "reno":
+            baseline = transfer
+    print("\nPaper's Table 2 (57-run averages): Reno 58.3 KB/s / 55.4 KB "
+          "retransmitted / 5.6 timeouts;")
+    print("Vegas-1,3 89.4 KB/s / 27.1 KB / 0.9; Vegas-2,4 91.8 KB/s / "
+          "29.4 KB / 0.9.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,47 @@
+#!/usr/bin/env python3
+"""Transfers over the emulated 17-hop Internet path (paper §5).
+
+The paper measured UA→NIH transfers for a week; this example runs the
+emulated equivalent — a chain of routers with one congested
+interchange whose cross-traffic intensity varies run to run — for a
+few "hours" (seeds) and prints the Table-4/5 style comparison.
+
+Run:  python examples/internet_transfer.py
+"""
+
+from repro.experiments.internet import build_internet_path, run_internet_transfer
+from repro.units import kb
+
+
+def main():
+    path = build_internet_path(seed=0)
+    hot = [f"hop{i}={load:.2f}" for i, load in enumerate(path.load_profile)
+           if load > 0.12]
+    print("Emulated UA->NIH path: 17 hops, congested interchange(s): "
+          + ", ".join(hot))
+    print()
+
+    for size_kb in (1024, 512, 128):
+        print(f"--- {size_kb} KB transfers (3 congestion conditions) ---")
+        for proto in ("reno", "vegas-1,3"):
+            tput = retx = timeouts = 0.0
+            runs = 3
+            for seed in range(runs):
+                result = run_internet_transfer(proto, size=kb(size_kb),
+                                               seed=seed)
+                tput += result.throughput_kbps
+                retx += result.retransmitted_kb
+                timeouts += result.coarse_timeouts
+            print(f"  {proto:<10} {tput / runs:6.1f} KB/s  "
+                  f"{retx / runs:6.1f} KB retx  "
+                  f"{timeouts / runs:.1f} timeouts")
+        print()
+    print("Paper's Table 5: Reno 53/52/31 KB/s and 47.8/27.9/22.9 KB retx")
+    print("for 1024/512/128 KB; Vegas-1,3 72.5/72/53.1 KB/s and "
+          "24.5/10.5/4.0 KB retx.")
+    print("Note how Reno's losses flatten toward its ~20 KB slow-start "
+          "floor while Vegas' scale down.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,11 @@
+"""Thin setup.py shim.
+
+The execution environment's setuptools predates PEP 660 editable-wheel
+support (and the ``wheel`` package is absent), so ``pip install -e .``
+falls back to this legacy path via ``--no-use-pep517``.  All real
+metadata lives in ``pyproject.toml``.
+"""
+
+from setuptools import setup
+
+setup()

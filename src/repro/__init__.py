@@ -1,0 +1,70 @@
+"""repro — a reproduction of *TCP Vegas: New Techniques for Congestion
+Detection and Avoidance* (Brakmo, O'Malley & Peterson, SIGCOMM 1994).
+
+The package is a packet-level discrete-event network simulator with a
+full BSD-style TCP implementation whose sender-side congestion control
+is pluggable.  It ships the paper's contribution (:class:`VegasCC`),
+the Reno/Tahoe baselines, the prior delay-based schemes the paper
+discusses (DUAL, CARD, Tri-S), the tcplib-style TRAFFIC workload
+generator, the trace facility behind the paper's graphs, and drivers
+for every table and figure in the evaluation.
+
+Quickstart::
+
+    from repro import Simulator, Topology, TCPProtocol, VegasCC
+    from repro.apps import BulkSink, BulkTransfer
+    from repro.units import kbps, mb, ms
+
+    sim = Simulator()
+    topo = Topology(sim)
+    a, b = topo.add_host("A"), topo.add_host("B")
+    r1, r2 = topo.add_router("R1"), topo.add_router("R2")
+    topo.add_lan([a, r1]); topo.add_lan([r2, b])
+    topo.add_link(r1, r2, bandwidth=kbps(200), delay=ms(50),
+                  queue_capacity=10)
+    topo.build_routes()
+    sender, receiver = TCPProtocol(a), TCPProtocol(b)
+    BulkSink(receiver, 7001)
+    transfer = BulkTransfer(sender, "B", 7001, mb(1), cc=VegasCC())
+    sim.run(until=60)
+    print(transfer.conn.stats.summary())
+"""
+
+from repro.core import (
+    CardCC,
+    CongestionControl,
+    DualCC,
+    RenoCC,
+    TahoeCC,
+    TriSCC,
+    VegasCC,
+    make_cc,
+)
+from repro.metrics import FlowStats, jain_fairness_index
+from repro.net import Topology
+from repro.sim import Simulator
+from repro.tcp import TCPConnection, TCPProtocol
+from repro.trace import ConnectionTracer, RouterTracer, build_trace_graph
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Simulator",
+    "Topology",
+    "TCPProtocol",
+    "TCPConnection",
+    "CongestionControl",
+    "RenoCC",
+    "TahoeCC",
+    "VegasCC",
+    "DualCC",
+    "CardCC",
+    "TriSCC",
+    "make_cc",
+    "FlowStats",
+    "jain_fairness_index",
+    "ConnectionTracer",
+    "RouterTracer",
+    "build_trace_graph",
+    "__version__",
+]

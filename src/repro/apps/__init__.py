@@ -1,0 +1,5 @@
+"""Applications that run on top of the TCP stack."""
+
+from repro.apps.bulk import BulkSink, BulkTransfer
+
+__all__ = ["BulkSink", "BulkTransfer"]

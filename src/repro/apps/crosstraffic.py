@@ -1,0 +1,106 @@
+"""Exogenous cross-traffic sources for the Internet emulation.
+
+The paper's Tables 4 and 5 come from live Internet runs over a 17-hop
+UA→NIH path, where loss and delay are caused by *other people's*
+traffic.  In the emulation (see DESIGN.md's substitution table) that
+role is played by :class:`CrossTrafficSource`: an on/off packet
+injector attached to one interior link.  During ON periods it emits
+fixed-size packets at a configurable burst rate (typically above the
+link capacity, so queues fill and drop); ON/OFF durations are
+exponential.  The long-run average load is::
+
+    burst_rate * on_mean / (on_mean + off_mean)
+
+These sources are deliberately *not* TCP — they model the aggregate,
+uncontrolled arrival process a 1994 backbone queue saw, and their
+burstiness is what exercises Reno's and Vegas' loss recovery.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from repro.errors import ConfigurationError
+from repro.net.node import Host
+from repro.net.packet import Packet
+
+
+class CrossTrafficSource:
+    """On/off Poisson-burst packet injector between two hosts."""
+
+    def __init__(self, src: Host, dst_addr: str, rng: random.Random,
+                 burst_rate: float, packet_size: int = 512,
+                 on_mean: float = 0.5, off_mean: float = 1.5,
+                 steady: bool = False):
+        if burst_rate <= 0:
+            raise ConfigurationError("burst_rate must be positive")
+        if packet_size <= 0:
+            raise ConfigurationError("packet_size must be positive")
+        self.src = src
+        self.sim = src.sim
+        self.dst_addr = dst_addr
+        self.rng = rng
+        self.burst_rate = burst_rate
+        self.packet_size = packet_size
+        self.on_mean = on_mean
+        self.off_mean = off_mean
+        #: steady=True sends Poisson packets at burst_rate continuously
+        #: (a smooth aggregate that adds queueing delay, not loss).
+        self.steady = steady
+        self._on = False
+        self._running = False
+        self.packets_sent = 0
+        self.bytes_sent = 0
+
+    @property
+    def average_rate(self) -> float:
+        """Long-run offered load in bytes/second."""
+        if self.steady:
+            return self.burst_rate
+        duty = self.on_mean / (self.on_mean + self.off_mean)
+        return self.burst_rate * duty
+
+    def start(self, delay: float = 0.0) -> None:
+        if self._running:
+            return
+        self._running = True
+        if self.steady:
+            self._on = True
+            self.sim.schedule(
+                delay + self.rng.expovariate(self.burst_rate / self.packet_size),
+                self._emit)
+            return
+        # Begin in a random phase of the off period.
+        self.sim.schedule(delay + self.rng.expovariate(1.0 / self.off_mean),
+                          self._burst_start)
+
+    def stop(self) -> None:
+        self._running = False
+
+    # ------------------------------------------------------------------
+    def _burst_start(self) -> None:
+        if not self._running:
+            return
+        self._on = True
+        duration = self.rng.expovariate(1.0 / self.on_mean)
+        self.sim.schedule(duration, self._burst_end)
+        self._emit()
+
+    def _burst_end(self) -> None:
+        self._on = False
+        if self._running:
+            self.sim.schedule(self.rng.expovariate(1.0 / self.off_mean),
+                              self._burst_start)
+
+    def _emit(self) -> None:
+        if not self._on or not self._running:
+            return
+        packet = Packet(self.src.name, self.dst_addr, payload=None,
+                        size=self.packet_size, created_at=self.sim.now)
+        self.src.send_packet(packet)
+        self.packets_sent += 1
+        self.bytes_sent += self.packet_size
+        # Poisson within the burst: exponential gaps at the burst rate.
+        gap = self.rng.expovariate(self.burst_rate / self.packet_size)
+        self.sim.schedule(gap, self._emit)

@@ -1,0 +1,30 @@
+"""Congestion-control policies: Vegas (the paper's contribution),
+Reno/Tahoe baselines, and the §3.2 prior delay-based schemes."""
+
+from repro.core.base import CongestionControl
+from repro.core.card import CardCC
+from repro.core.dual import DualCC
+from repro.core.newreno import NewRenoCC
+from repro.core.registry import available, cc_factory, make_cc, register
+from repro.core.reno import RenoCC
+from repro.core.sack import SackRenoCC, SackVegasCC
+from repro.core.tahoe import TahoeCC
+from repro.core.tris import TriSCC
+from repro.core.vegas import VegasCC
+
+__all__ = [
+    "CongestionControl",
+    "RenoCC",
+    "NewRenoCC",
+    "SackRenoCC",
+    "SackVegasCC",
+    "TahoeCC",
+    "VegasCC",
+    "DualCC",
+    "CardCC",
+    "TriSCC",
+    "available",
+    "cc_factory",
+    "make_cc",
+    "register",
+]

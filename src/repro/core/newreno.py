@@ -1,0 +1,49 @@
+"""TCP NewReno congestion control.
+
+Not part of the paper (it postdates it), but directly relevant to the
+§6 discussion of better retransmission: NewReno fixes plain Reno's
+multi-drop pathology *within* fast recovery — a partial ACK does not
+terminate recovery; instead the next hole is retransmitted
+immediately.  Comparing NewReno against Vegas' fine-grained mechanism
+(which solves the same problem with per-segment clocks) makes a useful
+extension study, analogous to the paper's selective-ACK remarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.reno import RenoCC
+from repro.tcp import constants as C
+
+
+class NewRenoCC(RenoCC):
+    """NewReno: fast recovery that survives partial ACKs."""
+
+    name = "newreno"
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        #: Highest sequence outstanding when recovery began; recovery
+        #: ends only when it is acknowledged.
+        self.recover = 0
+        self.partial_ack_retransmits = 0
+
+    def on_dup_ack(self, count: int, now: float) -> None:
+        if count == self.dupack_threshold and not self.in_recovery:
+            self.recover = self.conn.snd_nxt
+        super().on_dup_ack(count, now)
+
+    def on_new_ack(self, acked_bytes: int, now: float,
+                   rtt_sample: Optional[float]) -> None:
+        if self.in_recovery and self.conn.snd_una < self.recover:
+            # Partial ACK: the next segment is also lost.  Retransmit
+            # it, deflate by the amount acknowledged, and stay in
+            # recovery (RFC 6582 behaviour).
+            self.partial_ack_retransmits += 1
+            self.conn.retransmit_first_unacked("fast")
+            deflated = max(self.ssthresh,
+                           self.cwnd - acked_bytes + self.conn.mss)
+            self._set_cwnd(min(C.MAX_CWND, deflated), now)
+            return
+        super().on_new_ack(acked_bytes, now, rtt_sample)

@@ -1,0 +1,63 @@
+"""Name-based congestion-control registry.
+
+Experiments refer to protocols by name ("reno", "vegas", "vegas-1,3",
+...), mirroring the paper's table headings.  :func:`make_cc` turns a
+name into a fresh controller instance; :func:`cc_factory` returns a
+zero-argument callable for listener-side use.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict
+
+from repro.core.base import CongestionControl
+from repro.core.card import CardCC
+from repro.core.dual import DualCC
+from repro.core.newreno import NewRenoCC
+from repro.core.reno import RenoCC
+from repro.core.sack import SackRenoCC, SackVegasCC
+from repro.core.tahoe import TahoeCC
+from repro.core.tris import TriSCC
+from repro.core.vegas import VegasCC
+from repro.errors import ConfigurationError
+
+_BUILDERS: Dict[str, Callable[[], CongestionControl]] = {
+    "fixed": CongestionControl,
+    "reno": RenoCC,
+    "newreno": NewRenoCC,
+    "tahoe": TahoeCC,
+    "vegas": VegasCC,
+    "vegas-1,3": lambda: VegasCC(alpha=1.0, beta=3.0),
+    "vegas-2,4": lambda: VegasCC(alpha=2.0, beta=4.0),
+    "vegas-paced": lambda: VegasCC(paced_slow_start=True),
+    "reno-sack": SackRenoCC,
+    "vegas-sack": SackVegasCC,
+    "dual": DualCC,
+    "card": CardCC,
+    "tri-s": TriSCC,
+}
+
+
+def register(name: str, builder: Callable[[], CongestionControl]) -> None:
+    """Register a custom controller under *name* (overwrites allowed)."""
+    _BUILDERS[name] = builder
+
+
+def available() -> list:
+    """Sorted list of registered controller names."""
+    return sorted(_BUILDERS)
+
+
+def cc_factory(name: str) -> Callable[[], CongestionControl]:
+    """Return a zero-argument factory for the named controller."""
+    try:
+        return _BUILDERS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; available: {available()}"
+        ) from None
+
+
+def make_cc(name: str) -> CongestionControl:
+    """Instantiate the named controller."""
+    return cc_factory(name)()

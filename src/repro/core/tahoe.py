@@ -1,0 +1,45 @@
+"""TCP Tahoe congestion control.
+
+The pre-Reno BSD algorithm, kept as a secondary baseline (the paper
+footnotes that it limits its comparison to Reno because Reno is "newer
+and better performing than Tahoe").  Tahoe performs fast retransmit on
+three duplicate ACKs but has no fast recovery: every detected loss
+drops the window to one segment and re-enters slow start.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.core.base import CongestionControl
+from repro.tcp import constants as C
+
+
+class TahoeCC(CongestionControl):
+    """Tahoe: fast retransmit, no fast recovery."""
+
+    name = "tahoe"
+
+    def __init__(self, initial_cwnd_segments: int = 1,
+                 dupack_threshold: int = C.DUPACK_THRESHOLD):
+        super().__init__(initial_cwnd_segments)
+        self.dupack_threshold = dupack_threshold
+
+    def on_new_ack(self, acked_bytes: int, now: float,
+                   rtt_sample: Optional[float]) -> None:
+        mss = self.conn.mss
+        if self.cwnd < self.ssthresh:
+            increment = mss
+        else:
+            increment = max(1, mss * mss // self.cwnd)
+        self._set_cwnd(min(C.MAX_CWND, self.cwnd + increment), now)
+
+    def on_dup_ack(self, count: int, now: float) -> None:
+        if count == self.dupack_threshold:
+            self._set_ssthresh(self.half_window(), now)
+            self.conn.retransmit_first_unacked("fast")
+            self._set_cwnd(self.conn.mss, now)
+
+    def on_coarse_timeout(self, now: float) -> None:
+        self._set_ssthresh(self.half_window(), now)
+        self._set_cwnd(self.conn.mss, now)

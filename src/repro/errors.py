@@ -1,0 +1,29 @@
+"""Exception hierarchy for the repro library.
+
+All library-specific failures derive from :class:`ReproError` so callers
+can catch one base class.  Configuration mistakes raise
+:class:`ConfigurationError` at construction time rather than surfacing
+as confusing behaviour mid-simulation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An object was constructed or wired with invalid parameters."""
+
+
+class SimulationError(ReproError):
+    """The simulation reached an internally inconsistent state."""
+
+
+class RoutingError(ReproError):
+    """A packet could not be routed to its destination."""
+
+
+class ProtocolError(ReproError):
+    """A TCP endpoint received a segment it cannot process."""

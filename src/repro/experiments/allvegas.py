@@ -1,0 +1,104 @@
+"""§6: "what happens when the whole world runs Vegas".
+
+"Simulations show that if there are enough buffers in the routers ...
+a higher throughput and a faster response time result."  And the
+flip side: "As the load increases and/or the number of router buffers
+decreases, Vegas's congestion avoidance mechanisms are not as
+effective, and Vegas starts to behave more like Reno."
+
+:func:`run_world` drives the TRAFFIC workload with *every* connection
+using one protocol and reports aggregate goodput, retransmissions and
+TELNET response times; sweeping the router buffer count exposes the
+degeneracy the paper predicts.
+"""
+
+from __future__ import annotations
+
+import random
+import statistics
+from dataclasses import dataclass
+from typing import List
+
+from repro.experiments import defaults as DFLT
+from repro.experiments.figure5 import build_figure5
+from repro.experiments.transfers import CCSpec, resolve_cc
+
+
+@dataclass
+class WorldResult:
+    """Aggregate outcome of one all-one-protocol TRAFFIC run."""
+
+    cc_name: str
+    buffers: int
+    goodput_kbps: float
+    retransmit_kb: float
+    coarse_timeouts: int
+    conversations: int
+    telnet_mean_response: float
+
+    @property
+    def retransmit_fraction(self) -> float:
+        """Retransmitted bytes relative to delivered bytes."""
+        delivered_kb = self.goodput_kbps and self.goodput_kbps
+        if delivered_kb == 0:
+            return 0.0
+        return self.retransmit_kb / max(1e-9, delivered_kb)
+
+
+def run_world(cc: CCSpec, buffers: int = DFLT.DEFAULT_BUFFERS,
+              seed: int = 0, arrival_mean: float = 0.25,
+              duration: float = 120.0) -> WorldResult:
+    """TRAFFIC-only run where every connection uses *cc*."""
+    from repro.trafficgen import TrafficGenerator, TrafficServer
+
+    factory = resolve_cc(cc)
+    net = build_figure5(buffers=buffers, seed=seed)
+    rng = random.Random(net.rng.stream("traffic").random())
+    TrafficServer(net.protocol("Host1b"), rng, factory)
+    generator = TrafficGenerator(net.protocol("Host1a"), "Host1b", rng,
+                                 factory, arrival_mean=arrival_mean)
+    generator.start(0.0)
+    net.sim.run(until=duration)
+    generator.stop()
+
+    timeouts = 0
+    for conv in generator.conversations:
+        for conn in conv.connections:
+            timeouts += conn.stats.coarse_timeouts
+    samples = generator.telnet_response_times()
+    name = cc if isinstance(cc, str) else "custom"
+    return WorldResult(
+        cc_name=name,
+        buffers=buffers,
+        goodput_kbps=generator.throughput_kbps(0.0, duration),
+        retransmit_kb=generator.total_retransmitted_kb(),
+        coarse_timeouts=timeouts,
+        conversations=len(generator.conversations),
+        telnet_mean_response=(statistics.fmean(samples) if samples else 0.0),
+    )
+
+
+def buffer_sweep(buffer_counts=(4, 10, 20), seeds=(0, 1),
+                 **kwargs) -> List[WorldResult]:
+    """All-Reno vs all-Vegas worlds across router buffer counts.
+
+    Returns one averaged WorldResult per (cc, buffers) pair.
+    """
+    results: List[WorldResult] = []
+    for buffers in buffer_counts:
+        for cc in ("reno", "vegas"):
+            runs = [run_world(cc, buffers=buffers, seed=s, **kwargs)
+                    for s in seeds]
+            n = len(runs)
+            results.append(WorldResult(
+                cc_name=cc,
+                buffers=buffers,
+                goodput_kbps=sum(r.goodput_kbps for r in runs) / n,
+                retransmit_kb=sum(r.retransmit_kb for r in runs) / n,
+                coarse_timeouts=round(sum(r.coarse_timeouts
+                                          for r in runs) / n),
+                conversations=round(sum(r.conversations for r in runs) / n),
+                telnet_mean_response=sum(r.telnet_mean_response
+                                         for r in runs) / n,
+            ))
+    return results

@@ -1,0 +1,51 @@
+"""Canonical experiment parameters.
+
+The Figure-5 simulation network: hosts 1a/2a/3a on 10 Mb/s access
+Ethernets into Router1, a 200 KB/s 50 ms bottleneck link to Router2,
+and hosts 1b/2b/3b on the far side.  The base RTT is therefore
+~100 ms, giving a bandwidth-delay product of ~20 segments; the paper
+runs the bottleneck router with 10, 15 or 20 buffers, i.e. one half to
+one BDP of queueing — the regime where Reno's probing is costly and
+Vegas' α/β band fits comfortably.
+
+All experiment modules import these so that a single edit rescales the
+whole evaluation.
+"""
+
+from __future__ import annotations
+
+from repro.units import kb, kbps, mb, ms
+
+#: Bottleneck link bandwidth (bytes/second): 200 KB/s.
+BOTTLENECK_BANDWIDTH = kbps(200)
+
+#: Bottleneck one-way propagation delay: 50 ms.
+BOTTLENECK_DELAY = ms(50)
+
+#: Router buffer counts used across the paper's experiments.
+DEFAULT_BUFFERS = 10
+TABLE1_BUFFERS = (15, 20)
+TABLE2_BUFFERS = (10, 15, 20)
+
+#: Transfer sizes.
+LARGE_TRANSFER = mb(1)
+SMALL_TRANSFER = kb(300)
+INTERNET_SIZES = (kb(1024), kb(512), kb(128))
+
+#: The paper's socket buffer (50 KB) — swept in §4.3.
+SOCKBUF = 50 * 1024
+
+#: TRAFFIC generator load producing Table-2-like contention on the
+#: 200 KB/s bottleneck (mean seconds between conversation starts).
+TRAFFIC_ARRIVAL_MEAN = 0.5
+
+#: Start delays for the Table-1 small transfer ("ranging between 0 and
+#: 2.5 seconds"); combined with TABLE1_BUFFERS this gives the paper's
+#: 12 runs.
+TABLE1_DELAYS = (0.0, 0.5, 1.0, 1.5, 2.0, 2.5)
+
+#: Ports used by measured transfers (TRAFFIC owns the well-known ones).
+TRANSFER_PORT = 7001
+
+#: Simulation horizon for a single measured transfer (seconds).
+TRANSFER_HORIZON = 300.0

@@ -1,0 +1,89 @@
+"""The Figure-5 simulation network.
+
+Three source hosts on access Ethernets into Router1, a configurable
+bottleneck link Router1→Router2, and three destination hosts behind
+Router2.  Every host gets its own TCP protocol stack; the bottleneck
+queues (both directions) are exposed for tracing.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict
+
+from repro.experiments import defaults as DFLT
+from repro.net.link import PointToPointLink
+from repro.net.node import Host
+from repro.net.queue import DropTailQueue
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.protocol import TCPProtocol
+
+HOST_NAMES = ("Host1a", "Host2a", "Host3a", "Host1b", "Host2b", "Host3b")
+
+
+@dataclass
+class Figure5Network:
+    """A built Figure-5 network ready for experiments."""
+
+    sim: Simulator
+    topology: Topology
+    rng: RngRegistry
+    hosts: Dict[str, Host] = field(default_factory=dict)
+    protocols: Dict[str, TCPProtocol] = field(default_factory=dict)
+    bottleneck: PointToPointLink = None
+
+    @property
+    def forward_queue(self) -> DropTailQueue:
+        """The Router1→Router2 egress queue (the paper's buffers)."""
+        return self.bottleneck.channel_from(
+            self.topology.router("Router1")).queue
+
+    @property
+    def reverse_queue(self) -> DropTailQueue:
+        return self.bottleneck.channel_from(
+            self.topology.router("Router2")).queue
+
+    def protocol(self, host: str) -> TCPProtocol:
+        return self.protocols[host]
+
+
+def build_figure5(buffers: int = DFLT.DEFAULT_BUFFERS,
+                  bandwidth: float = DFLT.BOTTLENECK_BANDWIDTH,
+                  delay: float = DFLT.BOTTLENECK_DELAY,
+                  seed: int = 0) -> Figure5Network:
+    """Construct the Figure-5 network.
+
+    Args:
+        buffers: bottleneck router buffer count (10/15/20 in the paper).
+        bandwidth: bottleneck bandwidth in bytes/second.
+        delay: bottleneck one-way propagation delay in seconds.
+        seed: root seed; host timer phases and all traffic draw from
+            streams derived from it, so a (seed, parameters) pair fully
+            determines the run.
+    """
+    sim = Simulator()
+    topo = Topology(sim)
+    rng = RngRegistry(seed)
+
+    router1 = topo.add_router("Router1")
+    router2 = topo.add_router("Router2")
+    net = Figure5Network(sim=sim, topology=topo, rng=rng)
+
+    for name in HOST_NAMES:
+        host = topo.add_host(name)
+        net.hosts[name] = host
+        near_router = router1 if name.endswith("a") else router2
+        topo.add_lan([host, near_router], name=f"lan-{name}")
+
+    net.bottleneck = topo.add_link(router1, router2, bandwidth=bandwidth,
+                                   delay=delay, queue_capacity=buffers,
+                                   name="bottleneck")
+    topo.build_routes()
+
+    for name in HOST_NAMES:
+        host_rng = random.Random(rng.stream(f"timer-phase/{name}").random())
+        net.protocols[name] = TCPProtocol(net.hosts[name], rng=host_rng)
+    return net

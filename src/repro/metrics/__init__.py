@@ -1,0 +1,14 @@
+"""Measurement: per-flow statistics, fairness, run aggregation."""
+
+from repro.metrics.fairness import jain_fairness_index, worst_to_best_ratio
+from repro.metrics.flowstats import FlowStats
+from repro.metrics.tables import MetricTable, RunAggregate, format_table
+
+__all__ = [
+    "FlowStats",
+    "MetricTable",
+    "RunAggregate",
+    "format_table",
+    "jain_fairness_index",
+    "worst_to_best_ratio",
+]

@@ -1,0 +1,99 @@
+"""Per-connection statistics.
+
+Every TCP connection owns a :class:`FlowStats` that the endpoint
+updates as it runs.  These are the quantities the paper's tables
+report: throughput in KB/s, kilobytes retransmitted, and the number of
+coarse-grained timeouts, plus supporting detail (segment counts, RTT
+sample extremes) used by the analysis modules.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+from repro.units import bytes_to_kb, rate_kbps
+
+
+@dataclass
+class FlowStats:
+    """Mutable statistics for one TCP connection (sender perspective)."""
+
+    # Lifecycle timestamps (simulated seconds; None until they happen).
+    open_time: Optional[float] = None
+    established_time: Optional[float] = None
+    first_send_time: Optional[float] = None
+    last_ack_time: Optional[float] = None
+    close_time: Optional[float] = None
+
+    # Application data accounting.
+    app_bytes_queued: int = 0
+    app_bytes_acked: int = 0
+
+    # Wire accounting (payload bytes; headers excluded).
+    bytes_sent_total: int = 0
+    segments_sent: int = 0
+    retransmitted_bytes: int = 0
+    retransmit_segments: int = 0
+
+    # ACK-side accounting.
+    acks_received: int = 0
+    dup_acks_received: int = 0
+    bytes_received: int = 0
+
+    # Loss-recovery events.
+    coarse_timeouts: int = 0
+    fast_retransmits: int = 0
+    fine_retransmits: int = 0
+
+    # RTT samples (fine-grained, seconds).
+    rtt_samples: int = 0
+    rtt_min: Optional[float] = None
+    rtt_max: Optional[float] = None
+    rtt_sum: float = field(default=0.0, repr=False)
+
+    def note_rtt(self, sample: float) -> None:
+        """Record a fine-grained RTT sample."""
+        self.rtt_samples += 1
+        self.rtt_sum += sample
+        if self.rtt_min is None or sample < self.rtt_min:
+            self.rtt_min = sample
+        if self.rtt_max is None or sample > self.rtt_max:
+            self.rtt_max = sample
+
+    @property
+    def rtt_mean(self) -> Optional[float]:
+        if self.rtt_samples == 0:
+            return None
+        return self.rtt_sum / self.rtt_samples
+
+    # ------------------------------------------------------------------
+    # Derived paper metrics
+    # ------------------------------------------------------------------
+    @property
+    def transfer_seconds(self) -> Optional[float]:
+        """Elapsed time from connection open to the last new ACK."""
+        if self.open_time is None or self.last_ack_time is None:
+            return None
+        return self.last_ack_time - self.open_time
+
+    def throughput_kbps(self) -> float:
+        """Goodput in KB/s over the transfer: acked app bytes / elapsed.
+
+        This matches the paper's definition: useful data delivered per
+        unit time, retransmissions not double-counted.
+        """
+        elapsed = self.transfer_seconds
+        if elapsed is None:
+            return 0.0
+        return rate_kbps(self.app_bytes_acked, elapsed)
+
+    def retransmitted_kb(self) -> float:
+        """Kilobytes retransmitted, the paper's loss metric."""
+        return bytes_to_kb(self.retransmitted_bytes)
+
+    def summary(self) -> str:
+        """One-line human-readable digest."""
+        return (f"{self.throughput_kbps():.1f} KB/s, "
+                f"{self.retransmitted_kb():.1f} KB retransmitted, "
+                f"{self.coarse_timeouts} coarse timeouts")

@@ -1,0 +1,21 @@
+"""Network substrate: packets, queues, links, LANs, nodes, topologies."""
+
+from repro.net.addresses import FlowId
+from repro.net.link import Channel, EthernetLan, PointToPointLink
+from repro.net.node import Host, Node, Router
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.net.topology import Topology
+
+__all__ = [
+    "FlowId",
+    "Channel",
+    "EthernetLan",
+    "PointToPointLink",
+    "Host",
+    "Node",
+    "Router",
+    "Packet",
+    "DropTailQueue",
+    "Topology",
+]

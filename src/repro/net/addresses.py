@@ -1,0 +1,28 @@
+"""Host addressing and flow identification.
+
+Hosts are addressed by name (strings like ``"Host1a"``) — the paper's
+simulated network is small and static, so symbolic addresses keep
+traces readable.  A flow is the usual TCP 4-tuple.
+"""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+
+class FlowId(NamedTuple):
+    """A TCP connection's 4-tuple, as seen from one endpoint."""
+
+    local_addr: str
+    local_port: int
+    remote_addr: str
+    remote_port: int
+
+    def reversed(self) -> "FlowId":
+        """The same flow as seen from the other endpoint."""
+        return FlowId(self.remote_addr, self.remote_port,
+                      self.local_addr, self.local_port)
+
+    def __str__(self) -> str:
+        return (f"{self.local_addr}:{self.local_port}->"
+                f"{self.remote_addr}:{self.remote_port}")

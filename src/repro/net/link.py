@@ -1,0 +1,222 @@
+"""Link-level abstractions: point-to-point links and Ethernet LANs.
+
+These mirror the paper's simulator, which supported "point-to-point
+connections and ethernets".
+
+A point-to-point link is two independent unidirectional channels, each
+with a bandwidth, a propagation delay and an egress drop-tail queue
+(the router buffers live here — a router drops a packet when the
+egress queue of its outgoing link is full, exactly the behaviour of
+the paper's FIFO routers).
+
+An Ethernet LAN is modelled abstractly: a shared medium serialising
+transmissions first-come-first-served at the LAN bandwidth with a
+small fixed latency.  The paper's access LANs are never the
+bottleneck, so no collision modelling is needed — only the store-and-
+forward serialisation delay matters.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, List, Optional
+
+from repro.errors import ConfigurationError
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.sim.engine import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.net.node import Node
+
+
+class Channel:
+    """One direction of a point-to-point link.
+
+    Packets enter through an egress :class:`DropTailQueue`; the channel
+    drains the queue at ``bandwidth`` bytes/second and delivers each
+    packet to ``dst`` after an additional propagation ``delay``.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, delay: float,
+                 queue: DropTailQueue, name: str = "channel"):
+        if bandwidth <= 0:
+            raise ConfigurationError("channel bandwidth must be positive")
+        if delay < 0:
+            raise ConfigurationError("channel delay must be non-negative")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.delay = delay
+        self.queue = queue
+        self.name = name
+        self.dst: Optional["Node"] = None
+        self._busy = False
+        self.bytes_delivered = 0
+        self.packets_delivered = 0
+
+    def send(self, packet: Packet) -> bool:
+        """Offer *packet* to the egress queue; start draining if idle.
+
+        Returns ``False`` when the queue dropped the packet.
+        """
+        accepted = self.queue.offer(packet, self.sim.now)
+        if accepted and not self._busy:
+            self._transmit_next()
+        return accepted
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.poll(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size / self.bandwidth
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        # The wire is free as soon as the last bit leaves; the packet
+        # arrives one propagation delay later.
+        self.sim.schedule(self.delay, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        self.bytes_delivered += packet.size
+        self.packets_delivered += 1
+        if self.dst is not None:
+            self.dst.receive(packet)
+
+    @property
+    def utilization_bytes(self) -> int:
+        return self.bytes_delivered
+
+
+class Port:
+    """A node's attachment point to a link or LAN.
+
+    Forwarding tables map a destination host to a ``(port, next_node)``
+    pair; the port knows how to hand a packet toward that next node.
+    """
+
+    def transmit(self, packet: Packet, next_node: "Node") -> bool:
+        raise NotImplementedError
+
+    def neighbors(self) -> List["Node"]:
+        raise NotImplementedError
+
+
+class _P2PPort(Port):
+    def __init__(self, channel: Channel, neighbor: "Node"):
+        self.channel = channel
+        self.neighbor = neighbor
+
+    def transmit(self, packet: Packet, next_node: "Node") -> bool:
+        return self.channel.send(packet)
+
+    def neighbors(self) -> List["Node"]:
+        return [self.neighbor]
+
+
+class PointToPointLink:
+    """A bidirectional point-to-point link between two nodes.
+
+    Each direction gets its own egress queue; ``queue_capacity``
+    expresses the router-buffer count of the paper (``None`` for an
+    unbounded host-side queue).
+    """
+
+    def __init__(self, sim: Simulator, a: "Node", b: "Node", bandwidth: float,
+                 delay: float, queue_capacity: Optional[int] = None,
+                 name: str = "", queue_factory=None):
+        self.name = name or f"{a.name}<->{b.name}"
+        self.a = a
+        self.b = b
+        if queue_factory is not None:
+            qa = queue_factory(f"{a.name}->{b.name}")
+            qb = queue_factory(f"{b.name}->{a.name}")
+        else:
+            qa = DropTailQueue(queue_capacity, name=f"{a.name}->{b.name}")
+            qb = DropTailQueue(queue_capacity, name=f"{b.name}->{a.name}")
+        self.ab = Channel(sim, bandwidth, delay, qa, name=qa.name)
+        self.ba = Channel(sim, bandwidth, delay, qb, name=qb.name)
+        self.ab.dst = b
+        self.ba.dst = a
+        a.add_port(_P2PPort(self.ab, b))
+        b.add_port(_P2PPort(self.ba, a))
+
+    def channel_from(self, node: "Node") -> Channel:
+        """The unidirectional channel whose traffic *node* originates."""
+        if node is self.a:
+            return self.ab
+        if node is self.b:
+            return self.ba
+        raise ConfigurationError(f"{node.name} is not an endpoint of {self.name}")
+
+
+class _LanPort(Port):
+    def __init__(self, lan: "EthernetLan", owner: "Node"):
+        self.lan = lan
+        self.owner = owner
+
+    def transmit(self, packet: Packet, next_node: "Node") -> bool:
+        return self.lan.send(packet, next_node)
+
+    def neighbors(self) -> List["Node"]:
+        return [n for n in self.lan.nodes if n is not self.owner]
+
+
+class EthernetLan:
+    """An abstract shared-medium LAN.
+
+    Transmissions are serialised FCFS at ``bandwidth`` with ``latency``
+    added per packet.  The attachment queue is unbounded — the paper's
+    LANs never drop; all loss happens at the bottleneck router.
+    """
+
+    def __init__(self, sim: Simulator, bandwidth: float, latency: float,
+                 name: str = "lan"):
+        if bandwidth <= 0:
+            raise ConfigurationError("LAN bandwidth must be positive")
+        self.sim = sim
+        self.bandwidth = bandwidth
+        self.latency = latency
+        self.name = name
+        self.nodes: List["Node"] = []
+        self.queue = DropTailQueue(None, name=f"{name}.medium")
+        self._busy = False
+        self._dst_by_uid = {}
+        self.bytes_delivered = 0
+
+    def attach(self, node: "Node") -> None:
+        """Connect *node* to this LAN."""
+        if node in self.nodes:
+            raise ConfigurationError(f"{node.name} already attached to {self.name}")
+        self.nodes.append(node)
+        node.add_port(_LanPort(self, node))
+
+    def send(self, packet: Packet, dst_node: "Node") -> bool:
+        if dst_node not in self.nodes:
+            raise ConfigurationError(
+                f"{dst_node.name} is not attached to {self.name}")
+        self._dst_by_uid[packet.uid] = dst_node
+        self.queue.offer(packet, self.sim.now)
+        if not self._busy:
+            self._transmit_next()
+        return True
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.poll(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        tx_time = packet.size / self.bandwidth
+        self.sim.schedule(tx_time, self._tx_done, packet)
+
+    def _tx_done(self, packet: Packet) -> None:
+        self.sim.schedule(self.latency, self._deliver, packet)
+        self._transmit_next()
+
+    def _deliver(self, packet: Packet) -> None:
+        dst = self._dst_by_uid.pop(packet.uid, None)
+        self.bytes_delivered += packet.size
+        if dst is not None:
+            dst.receive(packet)

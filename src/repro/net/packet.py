@@ -1,0 +1,54 @@
+"""Network packets.
+
+A :class:`Packet` is the unit handled by links and routers: a source
+and destination host address plus an opaque transport payload (in
+practice a :class:`repro.tcp.segment.TCPSegment`).  Data is *virtual* —
+packets carry byte counts, never actual bytes — but the wire size
+(headers plus payload length) is what links charge for transmission
+and what router buffers account.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Any, Optional
+
+_uid_counter = itertools.count(1)
+
+
+class Packet:
+    """An IP-level packet carrying a transport segment.
+
+    Attributes:
+        src: source host address.
+        dst: destination host address.
+        payload: the transport segment (opaque to the network layer).
+        size: bytes on the wire, headers included.
+        uid: unique id for tracing; never reused within a process.
+        created_at: simulated time the packet was created, for
+            queueing-delay measurements.
+        ecn_capable: the sender understands congestion marks (ECT).
+        ecn_marked: a router marked this packet instead of dropping it
+            (CE); only meaningful when ``ecn_capable``.
+    """
+
+    __slots__ = ("src", "dst", "payload", "size", "uid", "created_at",
+                 "ecn_capable", "ecn_marked")
+
+    def __init__(self, src: str, dst: str, payload: Any, size: int,
+                 created_at: float = 0.0, uid: Optional[int] = None,
+                 ecn_capable: bool = False):
+        if size <= 0:
+            raise ValueError("packet size must be positive")
+        self.src = src
+        self.dst = dst
+        self.payload = payload
+        self.size = int(size)
+        self.uid = uid if uid is not None else next(_uid_counter)
+        self.created_at = created_at
+        self.ecn_capable = ecn_capable
+        self.ecn_marked = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"Packet(#{self.uid} {self.src}->{self.dst} "
+                f"{self.size}B {self.payload!r})")

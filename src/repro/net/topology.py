@@ -1,0 +1,158 @@
+"""Topology construction and static route computation.
+
+A :class:`Topology` collects hosts, routers, links and LANs, then
+computes shortest-path (hop-count) routes with a breadth-first search
+and installs a static forwarding table in every node.  The networks in
+the paper are tiny (Figure 5 has six hosts and two routers; the
+Internet emulation is a 17-hop chain), so hop-count BFS routing is
+exactly what their static configuration used.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Optional
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.link import EthernetLan, PointToPointLink
+from repro.net.node import Host, Node, Router
+from repro.sim.engine import Simulator
+from repro.units import mbps, ms
+
+
+class Topology:
+    """A network under construction.
+
+    Typical use::
+
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        r = topo.add_router("R")
+        b = topo.add_host("B")
+        topo.add_link(a, r, bandwidth=mbps(10), delay=ms(0.1))
+        topo.add_link(r, b, bandwidth=200 * 1024, delay=ms(50),
+                      queue_capacity=10)
+        topo.build_routes()
+    """
+
+    #: Default access-LAN parameters (10 Mb/s Ethernet, 0.1 ms latency).
+    LAN_BANDWIDTH = mbps(10)
+    LAN_LATENCY = ms(0.1)
+
+    def __init__(self, sim: Simulator):
+        self.sim = sim
+        self.nodes: Dict[str, Node] = {}
+        self.links: List[PointToPointLink] = []
+        self.lans: List[EthernetLan] = []
+        self._routes_built = False
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    def add_host(self, name: str) -> Host:
+        self._check_new(name)
+        host = Host(self.sim, name)
+        self.nodes[name] = host
+        return host
+
+    def add_router(self, name: str) -> Router:
+        self._check_new(name)
+        router = Router(self.sim, name)
+        self.nodes[name] = router
+        return router
+
+    def add_link(self, a: Node, b: Node, bandwidth: float, delay: float,
+                 queue_capacity: Optional[int] = None,
+                 name: str = "", queue_factory=None) -> PointToPointLink:
+        """Connect *a* and *b* with a point-to-point link.
+
+        ``queue_capacity`` is the per-direction egress buffer in
+        packets — this is where the paper's "router buffers" live.
+        ``queue_factory(name)`` overrides the drop-tail default with
+        another queueing discipline (e.g. :class:`repro.net.red.REDQueue`).
+        """
+        link = PointToPointLink(self.sim, a, b, bandwidth, delay,
+                                queue_capacity, name=name,
+                                queue_factory=queue_factory)
+        self.links.append(link)
+        self._routes_built = False
+        return link
+
+    def add_lan(self, nodes: List[Node], bandwidth: Optional[float] = None,
+                latency: Optional[float] = None, name: str = "") -> EthernetLan:
+        """Attach *nodes* to a new shared Ethernet LAN."""
+        if len(nodes) < 2:
+            raise ConfigurationError("a LAN needs at least two nodes")
+        lan = EthernetLan(
+            self.sim,
+            bandwidth if bandwidth is not None else self.LAN_BANDWIDTH,
+            latency if latency is not None else self.LAN_LATENCY,
+            name=name or f"lan{len(self.lans)}",
+        )
+        for node in nodes:
+            lan.attach(node)
+        self.lans.append(lan)
+        self._routes_built = False
+        return lan
+
+    def _check_new(self, name: str) -> None:
+        if name in self.nodes:
+            raise ConfigurationError(f"duplicate node name {name!r}")
+
+    # ------------------------------------------------------------------
+    # Routing
+    # ------------------------------------------------------------------
+    def build_routes(self) -> None:
+        """Compute hop-count shortest paths and install forwarding tables.
+
+        For every destination host we BFS backwards from the
+        destination; each node's next hop toward the destination is the
+        neighbor through which it was first reached.
+        """
+        hosts = [n for n in self.nodes.values() if isinstance(n, Host)]
+        for dst in hosts:
+            self._install_routes_to(dst)
+        self._routes_built = True
+
+    def _install_routes_to(self, dst: Host) -> None:
+        # BFS from dst; parent[n] is the neighbor of n on the shortest
+        # path toward dst.
+        parent: Dict[Node, Node] = {dst: dst}
+        frontier = deque([dst])
+        while frontier:
+            node = frontier.popleft()
+            for neighbor in node.neighbors():
+                if neighbor not in parent:
+                    parent[neighbor] = node
+                    frontier.append(neighbor)
+        for node in self.nodes.values():
+            if node is dst:
+                continue
+            next_hop = parent.get(node)
+            if next_hop is None:
+                continue  # disconnected from dst; forwarding will raise
+            port = self._port_toward(node, next_hop)
+            node.install_route(dst.name, port, next_hop)
+
+    @staticmethod
+    def _port_toward(node: Node, neighbor: Node):
+        for port in node.ports:
+            if neighbor in port.neighbors():
+                return port
+        raise RoutingError(
+            f"{node.name} has no port toward {neighbor.name}")
+
+    # ------------------------------------------------------------------
+    # Lookup helpers
+    # ------------------------------------------------------------------
+    def host(self, name: str) -> Host:
+        node = self.nodes.get(name)
+        if not isinstance(node, Host):
+            raise ConfigurationError(f"{name!r} is not a host in this topology")
+        return node
+
+    def router(self, name: str) -> Router:
+        node = self.nodes.get(name)
+        if not isinstance(node, Router):
+            raise ConfigurationError(f"{name!r} is not a router in this topology")
+        return node

@@ -1,0 +1,7 @@
+"""Discrete-event simulation core: scheduler, RNG streams, timers."""
+
+from repro.sim.engine import Event, Simulator
+from repro.sim.process import PeriodicTimer
+from repro.sim.rng import RngRegistry
+
+__all__ = ["Event", "Simulator", "PeriodicTimer", "RngRegistry"]

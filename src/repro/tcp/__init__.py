@@ -1,0 +1,15 @@
+"""TCP implementation: segments, buffers, endpoints, per-host protocol."""
+
+from repro.tcp.connection import State, TCPConnection
+from repro.tcp.protocol import TCPProtocol
+from repro.tcp.segment import FLAG_ACK, FLAG_FIN, FLAG_SYN, TCPSegment
+
+__all__ = [
+    "State",
+    "TCPConnection",
+    "TCPProtocol",
+    "TCPSegment",
+    "FLAG_ACK",
+    "FLAG_FIN",
+    "FLAG_SYN",
+]

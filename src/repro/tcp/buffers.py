@@ -1,0 +1,141 @@
+"""Sender and receiver buffer models.
+
+:class:`SendBuffer` tracks how much application data is queued but not
+yet acknowledged, bounded by the socket send-buffer size — the knob the
+paper sweeps in §4.3 ("Different TCP send-buffer sizes").
+
+:class:`ReassemblyBuffer` is the receiver's out-of-order store: it
+accepts segments in any order, coalesces intervals, and reports how far
+the in-order prefix (``rcv_nxt``) advances.  Its occupancy shrinks the
+advertised window, exactly like the BSD sockbuf.
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+from repro.errors import ConfigurationError
+
+
+class SendBuffer:
+    """Accounting for unacknowledged application data at the sender.
+
+    Sequence numbers are absolute.  ``una`` is the lowest unacked
+    sequence number; ``queued_end`` is one past the last byte the
+    application has queued.  The buffer accepts new application bytes
+    only while ``queued_end - una`` stays within ``capacity``.
+    """
+
+    def __init__(self, capacity: int, start_seq: int = 0):
+        if capacity < 1:
+            raise ConfigurationError("send buffer capacity must be >= 1")
+        self.capacity = capacity
+        self.una = start_seq
+        self.queued_end = start_seq
+
+    @property
+    def in_buffer(self) -> int:
+        """Bytes currently held (queued but not yet acknowledged)."""
+        return self.queued_end - self.una
+
+    @property
+    def space(self) -> int:
+        """Bytes of application data the buffer can still accept."""
+        return self.capacity - self.in_buffer
+
+    def write(self, nbytes: int) -> int:
+        """Queue up to *nbytes* of application data; return the accepted count."""
+        if nbytes < 0:
+            raise ValueError("cannot write a negative byte count")
+        accepted = min(nbytes, self.space)
+        self.queued_end += accepted
+        return accepted
+
+    def ack_to(self, seq: int) -> int:
+        """Release bytes below *seq*; return how many were freed."""
+        if seq < self.una:
+            return 0
+        seq = min(seq, self.queued_end)
+        freed = seq - self.una
+        self.una = seq
+        return freed
+
+    def rebase(self, start_seq: int) -> None:
+        """Reset sequence bookkeeping (used when the ISS is chosen)."""
+        if self.in_buffer:
+            raise ConfigurationError("cannot rebase a non-empty send buffer")
+        self.una = start_seq
+        self.queued_end = start_seq
+
+
+class ReassemblyBuffer:
+    """Receiver-side out-of-order segment store.
+
+    Intervals are kept sorted and disjoint.  ``add`` returns the number
+    of bytes newly delivered in-order (i.e. how far ``rcv_nxt``
+    advanced), which the receiver hands to the application.
+    """
+
+    def __init__(self, rcv_nxt: int = 0):
+        self.rcv_nxt = rcv_nxt
+        self._intervals: List[Tuple[int, int]] = []  # sorted, disjoint (start, end)
+
+    @property
+    def buffered_bytes(self) -> int:
+        """Bytes held out of order (they consume advertised window)."""
+        return sum(end - start for start, end in self._intervals)
+
+    @property
+    def has_gaps(self) -> bool:
+        """True when out-of-order data is waiting for a hole to fill."""
+        return bool(self._intervals)
+
+    def add(self, seq: int, length: int) -> int:
+        """Accept ``[seq, seq+length)``; return bytes newly in-order.
+
+        Old (fully duplicate) data returns 0.  Partial overlap with the
+        in-order prefix or with buffered intervals is trimmed.
+        """
+        if length < 0:
+            raise ValueError("segment length must be non-negative")
+        start, end = seq, seq + length
+        if end <= self.rcv_nxt:
+            return 0  # entirely old
+        start = max(start, self.rcv_nxt)
+        if start > self.rcv_nxt:
+            # Out of order: merge into the interval list.
+            self._insert(start, end)
+            return 0
+        # In-order (possibly trimmed): advance rcv_nxt, then pull any
+        # buffered intervals that become contiguous.
+        old_nxt = self.rcv_nxt
+        self.rcv_nxt = end
+        self._drain()
+        return self.rcv_nxt - old_nxt
+
+    def _insert(self, start: int, end: int) -> None:
+        merged: List[Tuple[int, int]] = []
+        placed = False
+        for s, e in self._intervals:
+            if e < start or s > end:
+                if not placed and s > end:
+                    merged.append((start, end))
+                    placed = True
+                merged.append((s, e))
+            else:
+                start = min(start, s)
+                end = max(end, e)
+        if not placed:
+            merged.append((start, end))
+            merged.sort()
+        self._intervals = merged
+
+    def _drain(self) -> None:
+        while self._intervals and self._intervals[0][0] <= self.rcv_nxt:
+            start, end = self._intervals.pop(0)
+            if end > self.rcv_nxt:
+                self.rcv_nxt = end
+
+    def intervals(self) -> List[Tuple[int, int]]:
+        """Snapshot of buffered out-of-order intervals (for tests)."""
+        return list(self._intervals)

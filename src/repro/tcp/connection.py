@@ -1,0 +1,716 @@
+"""The TCP connection endpoint.
+
+One :class:`TCPConnection` is one endpoint (the equivalent of a BSD
+socket + tcpcb).  It owns:
+
+* the sender half: send buffer, ``snd_una``/``snd_nxt``/``snd_max``,
+  the coarse (tick-granularity) retransmit machinery driven by the
+  host's 500 ms slow timer, per-segment fine-grained timestamps (the
+  clock readings Vegas' §3.1 mechanism relies on), and a pluggable
+  :class:`~repro.core.base.CongestionControl` policy;
+* the receiver half (:class:`~repro.tcp.receiver.ReceiverHalf`):
+  cumulative/duplicate/delayed ACK generation;
+* a small connection state machine (simplified three-way handshake and
+  FIN exchange — no TIME_WAIT, no RST).
+
+Everything observable about the connection is recorded through the
+attached :class:`~repro.trace.tracer.ConnectionTracer`, which is what
+the paper's graphing tools consume.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Callable, Dict, Optional
+
+from repro.errors import ProtocolError
+from repro.metrics.flowstats import FlowStats
+from repro.net.addresses import FlowId
+from repro.net.packet import Packet
+from repro.tcp import constants as C
+from repro.tcp.buffers import SendBuffer
+from repro.tcp.receiver import AckAction, ReceiverHalf
+from repro.tcp.rtt import CoarseRttEstimator, FineRttEstimator
+from repro.tcp.sack import SackScoreboard
+from repro.tcp.segment import (
+    FLAG_ACK,
+    FLAG_ECE,
+    FLAG_FIN,
+    FLAG_SYN,
+    MAX_SACK_BLOCKS,
+    TCPSegment,
+)
+from repro.trace.records import Kind
+from repro.trace.tracer import NULL_TRACER, ConnectionTracer
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.base import CongestionControl
+    from repro.tcp.protocol import TCPProtocol
+
+
+class State(enum.Enum):
+    CLOSED = 0
+    SYN_SENT = 1
+    SYN_RCVD = 2
+    ESTABLISHED = 3
+    CLOSING = 4      # FIN exchange in progress (either direction)
+
+
+class TCPConnection:
+    """One endpoint of a TCP connection with pluggable congestion control."""
+
+    def __init__(self, protocol: "TCPProtocol", flow: FlowId,
+                 cc: "CongestionControl",
+                 mss: int = C.DEFAULT_MSS,
+                 sndbuf: int = C.DEFAULT_SOCKBUF,
+                 rcvbuf: int = C.DEFAULT_SOCKBUF,
+                 tracer: Optional[ConnectionTracer] = None,
+                 nagle: bool = True,
+                 delayed_acks: bool = True,
+                 sack: bool = False,
+                 ecn: bool = False):
+        self.protocol = protocol
+        self.sim = protocol.sim
+        self.flow = flow
+        self.mss = mss
+        self.nagle = nagle
+        self.tracer = tracer if tracer is not None else NULL_TRACER
+        self.stats = FlowStats()
+        self.state = State.CLOSED
+
+        # --- Sender half -------------------------------------------------
+        self.iss = 0
+        self.sendbuf = SendBuffer(sndbuf, start_seq=1)
+        self.snd_una = 0
+        self.snd_nxt = 0
+        self.snd_max = 0          # highest end-sequence ever sent
+        self.peer_wnd = 0
+        self.peer_wnd_seen = False
+        self.dupacks = 0
+        self.rexmt_shift = 0
+        self.t_rexmt: Optional[int] = None   # ticks until coarse timeout
+        self.coarse_rtt = CoarseRttEstimator()
+        self.fine_rtt = FineRttEstimator()
+        self._timing_seq: Optional[int] = None   # coarse timing (one at a time)
+        self._timing_ticks = 0
+        # Fine-grained per-segment clocks: end_seq -> last transmit time.
+        self._send_times: Dict[int, float] = {}
+        self._ambiguous: set = set()   # end_seqs retransmitted (Karn)
+        self.fin_pending = False
+        self.fin_sent = False
+        self.fin_end: Optional[int] = None
+        self.fin_acked = False
+        #: Consecutive coarse timeouts without forward progress; the
+        #: connection aborts when this exceeds MAX_REXMT_SHIFT, like
+        #: BSD's dropwithreset after 12 fruitless retransmissions.
+        self.consecutive_timeouts = 0
+        self.aborted = False
+        # Optional transmission pacing (used by the experimental
+        # rate-controlled slow start of §3.3's future work).
+        self._pace_next_time = 0.0
+        self._pace_event = None
+        # Selective acknowledgements (§6 extension): when enabled, this
+        # endpoint *sends* SACK blocks for its out-of-order reassembly
+        # queue and keeps a scoreboard of blocks the peer reports.
+        self.sack_enabled = sack
+        self.sack_board = SackScoreboard()
+        # Explicit congestion notification (RFC 3168, simplified): data
+        # packets are sent ECN-capable; a congestion mark seen by the
+        # receiver is echoed on its next ACKs until new data confirms
+        # the sender reacted.
+        self.ecn_enabled = ecn
+        self._ece_pending = False
+        self.ecn_echoes_received = 0
+
+        # --- Receiver half ------------------------------------------------
+        self.recv = ReceiverHalf(rcvbuf, delayed_acks=delayed_acks)
+        self.peer_fin = False
+
+        # --- Application callbacks ----------------------------------------
+        self.on_established: Optional[Callable[["TCPConnection"], None]] = None
+        self.on_data: Optional[Callable[["TCPConnection", int], None]] = None
+        self.on_send_space: Optional[Callable[["TCPConnection"], None]] = None
+        self.on_peer_fin: Optional[Callable[["TCPConnection"], None]] = None
+        self.on_closed: Optional[Callable[["TCPConnection"], None]] = None
+
+        self.cc = cc
+        cc.attach(self)
+
+    # ------------------------------------------------------------------
+    # Convenience properties
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> float:
+        return self.sim.now
+
+    @property
+    def is_closed(self) -> bool:
+        return self.state == State.CLOSED and self.stats.close_time is not None
+
+    def flight_size(self) -> int:
+        """Bytes sent but not yet acknowledged."""
+        return self.snd_nxt - self.snd_una
+
+    @property
+    def send_window(self) -> int:
+        """min(cwnd, peer advertised window), the paper's send window."""
+        return min(self.cc.cwnd, self.peer_wnd)
+
+    def unsent_bytes(self) -> int:
+        return self.sendbuf.queued_end - self.snd_nxt
+
+    # ------------------------------------------------------------------
+    # Opening
+    # ------------------------------------------------------------------
+    def open_active(self) -> None:
+        """Send a SYN (active open)."""
+        if self.state != State.CLOSED or self.stats.open_time is not None:
+            raise ProtocolError("connection already opened")
+        self.stats.open_time = self.now
+        self.state = State.SYN_SENT
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss + 1
+        self.snd_max = self.iss + 1
+        self._trace(Kind.STATE, self.state.value)
+        self._send_syn()
+
+    def open_passive(self, syn: TCPSegment) -> None:
+        """Respond to an incoming SYN (passive open)."""
+        if self.state != State.CLOSED:
+            raise ProtocolError("connection already opened")
+        self.stats.open_time = self.now
+        self.recv.init_sequence(syn.seq + 1)
+        self.peer_wnd = syn.wnd
+        self.peer_wnd_seen = True
+        self.state = State.SYN_RCVD
+        self.snd_una = self.iss
+        self.snd_nxt = self.iss + 1
+        self.snd_max = self.iss + 1
+        self._trace(Kind.STATE, self.state.value)
+        self._send_syn(ack=True)
+
+    def _send_syn(self, ack: bool = False) -> None:
+        flags = FLAG_SYN | (FLAG_ACK if ack else 0)
+        seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
+                         seq=self.iss, length=0,
+                         ack=self.recv.rcv_nxt if ack else 0,
+                         flags=flags, wnd=self.recv.rcv_wnd)
+        self._send_times[self.iss + 1] = self.now
+        if self._timing_seq is None:
+            self._timing_seq = self.iss
+            self._timing_ticks = 1
+        self._arm_rexmt()
+        self._transmit(seg)
+
+    # ------------------------------------------------------------------
+    # Application interface
+    # ------------------------------------------------------------------
+    def app_send(self, nbytes: int) -> int:
+        """Queue *nbytes* of application data; returns the accepted count."""
+        if self.fin_pending or self.fin_sent:
+            raise ProtocolError("cannot send after close()")
+        accepted = self.sendbuf.write(nbytes)
+        if accepted:
+            self.stats.app_bytes_queued += accepted
+            self._trace(Kind.APP_WRITE, accepted)
+        if self.state in (State.ESTABLISHED, State.CLOSING):
+            self.output()
+        return accepted
+
+    def close(self) -> None:
+        """Half-close: send FIN once all queued data has been sent."""
+        if self.fin_pending or self.fin_sent:
+            return
+        self.fin_pending = True
+        if self.state in (State.ESTABLISHED, State.CLOSING):
+            self.output()
+
+    # ------------------------------------------------------------------
+    # Output path
+    # ------------------------------------------------------------------
+    def output(self) -> None:
+        """Send as much queued data as the windows allow (BSD tcp_output)."""
+        if self.state not in (State.ESTABLISHED, State.CLOSING):
+            return
+        while True:
+            window = self.send_window
+            usable = window - self.flight_size()
+            unsent = self.unsent_bytes()
+            if unsent > 0 and usable > 0:
+                length = min(self.mss, unsent, usable)
+                if length < self.mss and self.nagle and self.flight_size() > 0:
+                    # Nagle / silly-window avoidance: hold sub-MSS
+                    # segments while data is outstanding.
+                    break
+                if self._pacing_blocked():
+                    break
+                self._send_data_segment(self.snd_nxt, length)
+                self._pacing_charge(length)
+                continue
+            if (self.fin_pending and not self.fin_sent and unsent == 0
+                    and self.snd_nxt == self.sendbuf.queued_end):
+                self._send_fin()
+            break
+
+    def _sack_blocks(self) -> tuple:
+        if not self.sack_enabled:
+            return ()
+        return tuple(self.recv.reasm.intervals()[:MAX_SACK_BLOCKS])
+
+    def _send_data_segment(self, seq: int, length: int) -> None:
+        end_seq = seq + length
+        is_retx = end_seq <= self.snd_max
+        flags = FLAG_ACK
+        seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
+                         seq=seq, length=length, ack=self.recv.rcv_nxt,
+                         flags=flags, wnd=self.recv.rcv_wnd,
+                         sack=self._sack_blocks())
+        self.recv.ack_sent()
+        if is_retx:
+            self.stats.retransmitted_bytes += length
+            self.stats.retransmit_segments += 1
+            self._trace(Kind.RETX, seq, length)
+            if end_seq in self._send_times:
+                self._ambiguous.add(end_seq)
+            # Karn: a retransmission covering the timed segment
+            # invalidates the coarse measurement.
+            if (self._timing_seq is not None
+                    and seq <= self._timing_seq < end_seq):
+                self._timing_seq = None
+        else:
+            self._trace(Kind.SEND, seq, length)
+            if self._timing_seq is None:
+                self._timing_seq = seq
+                self._timing_ticks = 1
+        self._send_times[end_seq] = self.now
+        self.stats.bytes_sent_total += length
+        self.stats.segments_sent += 1
+        if self.stats.first_send_time is None:
+            self.stats.first_send_time = self.now
+        if end_seq > self.snd_nxt:
+            self.snd_nxt = end_seq
+        if end_seq > self.snd_max:
+            self.snd_max = end_seq
+        self._arm_rexmt()
+        self.cc.on_segment_sent(seq, length, end_seq, is_retx, self.now)
+        self._trace(Kind.FLIGHT, self.flight_size())
+        self._transmit(seg)
+
+    def _send_fin(self) -> None:
+        seq = self.sendbuf.queued_end
+        seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
+                         seq=seq, length=0, ack=self.recv.rcv_nxt,
+                         flags=FLAG_ACK | FLAG_FIN, wnd=self.recv.rcv_wnd)
+        self.recv.ack_sent()
+        self.fin_sent = True
+        self.fin_end = seq + 1
+        self._send_times[self.fin_end] = self.now
+        if self.fin_end > self.snd_nxt:
+            self.snd_nxt = self.fin_end
+        if self.fin_end > self.snd_max:
+            self.snd_max = self.fin_end
+        self.state = State.CLOSING
+        self._trace(Kind.FIN, seq)
+        self._trace(Kind.STATE, self.state.value)
+        self._arm_rexmt()
+        self._transmit(seg)
+
+    def retransmit_first_unacked(self, reason: str = "fast") -> int:
+        """Resend the segment at ``snd_una`` (fast/fine retransmission).
+
+        Returns the retransmitted segment's starting sequence number.
+        Called by congestion-control policies; the window decision is
+        theirs, the mechanics are here.
+        """
+        data_end = self.sendbuf.queued_end
+        if self.snd_una < data_end:
+            length = min(self.mss, data_end - self.snd_una,
+                         max(self.snd_max - self.snd_una, 0))
+            if length <= 0:
+                return self.snd_una
+            seq = self.snd_una
+            if reason.startswith("fine"):
+                self.stats.fine_retransmits += 1
+                self._trace(Kind.FINE_RETX, seq,
+                            1 if reason == "fine-dupack" else 2)
+            else:
+                self.stats.fast_retransmits += 1
+            self._send_data_segment(seq, length)
+            return seq
+        if self.fin_sent and not self.fin_acked:
+            self._send_fin_again()
+        return self.snd_una
+
+    def retransmit_hole(self, seq: int, length: int,
+                        reason: str = "sack") -> None:
+        """Resend the un-SACKed chunk at *seq* (SACK-driven recovery).
+
+        Unlike :meth:`retransmit_first_unacked`, the chunk may sit
+        anywhere between ``snd_una`` and ``snd_max``.
+        """
+        length = min(length, self.mss,
+                     max(0, self.sendbuf.queued_end - seq))
+        if length <= 0 or seq < self.snd_una:
+            return
+        if reason == "sack":
+            self.stats.fast_retransmits += 1
+        self._send_data_segment(seq, length)
+
+    def _send_fin_again(self) -> None:
+        seq = self.sendbuf.queued_end
+        seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
+                         seq=seq, length=0, ack=self.recv.rcv_nxt,
+                         flags=FLAG_ACK | FLAG_FIN, wnd=self.recv.rcv_wnd)
+        self.recv.ack_sent()
+        if self.fin_end is not None:
+            self._send_times[self.fin_end] = self.now
+            self._ambiguous.add(self.fin_end)
+        self._arm_rexmt()
+        self._transmit(seg)
+
+    def send_ack(self) -> None:
+        """Send a pure ACK now (with SACK blocks when enabled)."""
+        seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
+                         seq=self.snd_nxt, length=0, ack=self.recv.rcv_nxt,
+                         flags=FLAG_ACK, wnd=self.recv.rcv_wnd,
+                         sack=self._sack_blocks())
+        self.recv.ack_sent()
+        self._transmit(seg)
+        # One echo (at least) per congestion mark.
+        self._ece_pending = False
+
+    def _transmit(self, seg: TCPSegment) -> None:
+        if self.ecn_enabled and self._ece_pending and seg.has_ack:
+            seg.flags |= FLAG_ECE
+        packet = Packet(self.flow.local_addr, self.flow.remote_addr,
+                        seg, seg.wire_size, created_at=self.now,
+                        ecn_capable=self.ecn_enabled and seg.length > 0)
+        self.protocol.host.send_packet(packet)
+
+    # ------------------------------------------------------------------
+    # Input path
+    # ------------------------------------------------------------------
+    def handle_segment(self, seg: TCPSegment, ecn_marked: bool = False) -> None:
+        """Process an inbound segment addressed to this connection.
+
+        ``ecn_marked`` reports that the carrying packet received a
+        congestion mark in the network (set by the demultiplexer).
+        """
+        if self.ecn_enabled and ecn_marked:
+            self._ece_pending = True
+        if self.state == State.SYN_SENT:
+            self._handle_syn_sent(seg)
+            return
+        if self.state == State.SYN_RCVD:
+            if seg.has_ack and seg.ack >= self.iss + 1:
+                self._become_established(seg)
+                # Fall through: the segment may carry data too.
+            elif seg.syn:
+                # Our SYN-ACK was lost; resend it.
+                self._send_syn(ack=True)
+                return
+        if self.state == State.CLOSED:
+            # Residual segments after close (e.g. a retransmitted FIN):
+            # re-ACK so the peer can finish, then ignore.
+            if seg.length > 0 or seg.fin:
+                self.send_ack()
+            return
+
+        if seg.has_ack:
+            self._process_ack(seg)
+
+        delivered, action = self.recv.process_data(seg)
+        if delivered and self.on_data is not None:
+            self.on_data(self, delivered)
+        self.stats.bytes_received += delivered
+
+        fin_action = self._process_fin(seg)
+        if fin_action or action == AckAction.NOW:
+            if action == AckAction.NOW and seg.length == 0 and not seg.fin \
+                    and seg.seq > self.recv.rcv_nxt:
+                pass  # pure stray; still ack below for simplicity
+            self.send_ack()
+
+        self._maybe_done()
+
+    def _handle_syn_sent(self, seg: TCPSegment) -> None:
+        if not (seg.syn and seg.has_ack and seg.ack == self.iss + 1):
+            return  # simultaneous open unsupported; ignore
+        self.recv.init_sequence(seg.seq + 1)
+        self._note_ack_progress(seg.ack)
+        self._become_established(seg)
+        self.send_ack()
+        self.output()
+
+    def _become_established(self, seg: TCPSegment) -> None:
+        self.state = State.ESTABLISHED
+        self.stats.established_time = self.now
+        self.peer_wnd = seg.wnd
+        self.peer_wnd_seen = True
+        if seg.has_ack and seg.ack == self.iss + 1:
+            self._note_ack_progress(seg.ack)
+        self._trace(Kind.ESTABLISHED)
+        self._trace(Kind.STATE, self.state.value)
+        self.cc.on_established(self.now)
+        if self.on_established is not None:
+            self.on_established(self)
+        self.output()
+
+    def _note_ack_progress(self, ack: int) -> None:
+        """Minimal ack bookkeeping used during the handshake."""
+        if ack <= self.snd_una or ack > self.snd_max:
+            return
+        if self._timing_seq is not None and ack > self._timing_seq:
+            self.coarse_rtt.update(self._timing_ticks)
+            self._timing_seq = None
+        sample = self._fine_sample_for(ack)
+        if sample is not None:
+            # A SYN is 40 bytes on the wire; its RTT under-represents
+            # the serialization a full data segment pays, so it feeds
+            # the smoothed estimate but not BaseRTT.
+            self.fine_rtt.update(sample, update_base=False)
+            self.stats.note_rtt(sample)
+        self._purge_send_times(ack)
+        self.snd_una = ack
+        self.rexmt_shift = 0
+        self.consecutive_timeouts = 0
+        if self.snd_una >= self.snd_max:
+            self.t_rexmt = None
+        else:
+            self._arm_rexmt(force=True)
+
+    def _process_ack(self, seg: TCPSegment) -> None:
+        ack = seg.ack
+        if ack > self.snd_max:
+            return  # acks data never sent; ignore
+        if self.ecn_enabled and seg.ece:
+            self.ecn_echoes_received += 1
+            self.cc.on_ecn_echo(self.now)
+        if self.sack_enabled and seg.sack:
+            for start, end in seg.sack:
+                self.sack_board.add(start, min(end, self.snd_max))
+        window_changed = (seg.wnd != self.peer_wnd)
+        if ack > self.snd_una:
+            self.peer_wnd = seg.wnd
+            self._handle_new_ack(ack, seg)
+        elif (ack == self.snd_una and seg.length == 0 and not seg.syn
+              and not seg.fin and self.snd_nxt > self.snd_una
+              and not window_changed):
+            self.dupacks += 1
+            self.stats.dup_acks_received += 1
+            self._trace(Kind.DUPACK_RX, ack, self.dupacks)
+            self.cc.on_dup_ack(self.dupacks, self.now)
+            self.output()
+        else:
+            self.peer_wnd = seg.wnd
+
+    def _handle_new_ack(self, ack: int, seg: TCPSegment) -> None:
+        acked = ack - self.snd_una
+        self.stats.acks_received += 1
+        self._trace(Kind.ACK_RX, ack)
+        # Coarse RTT sample (one timed segment at a time, Karn-guarded).
+        if self._timing_seq is not None and ack > self._timing_seq:
+            self.coarse_rtt.update(self._timing_ticks)
+            self._timing_seq = None
+        # Fine-grained RTT sample from per-segment clocks.  FIN-only
+        # segments (40 bytes on the wire) are excluded from BaseRTT for
+        # the same reason SYNs are: they pay less serialization than a
+        # data segment and would read as an impossibly good path.
+        sample = self._fine_sample_for(ack)
+        if sample is not None:
+            is_fin_sample = (self.fin_end is not None and ack == self.fin_end
+                             and self.sendbuf.queued_end < ack)
+            self.fine_rtt.update(sample, update_base=not is_fin_sample)
+            self.stats.note_rtt(sample)
+            self._trace(Kind.RTT_SAMPLE, sample * 1e6)
+            if is_fin_sample:
+                sample = None
+        self._purge_send_times(ack)
+        self.snd_una = ack
+        if self.snd_nxt < self.snd_una:
+            # After a timeout rolled snd_nxt back, an ACK for the
+            # original (pre-rollback) transmissions can pass it; pull
+            # snd_nxt forward so the flight never goes negative (the
+            # same guard 4.3 BSD applies after ACK processing).
+            self.snd_nxt = self.snd_una
+        self.sack_board.advance_to(ack)
+        freed = self.sendbuf.ack_to(ack)
+        if freed:
+            self.stats.app_bytes_acked += freed
+            self.stats.last_ack_time = self.now
+        if self.fin_sent and self.fin_end is not None and ack >= self.fin_end:
+            self.fin_acked = True
+            self.stats.last_ack_time = self.now
+        self.dupacks = 0
+        self.rexmt_shift = 0
+        self.consecutive_timeouts = 0
+        self.cc.on_new_ack(acked, self.now, sample)
+        if self.snd_una >= self.snd_max:
+            self.t_rexmt = None
+        else:
+            self._arm_rexmt(force=True)
+        self._trace(Kind.SND_WND, min(self.sendbuf.capacity, self.peer_wnd))
+        self._trace(Kind.FLIGHT, self.flight_size())
+        self.output()
+        if freed and self.on_send_space is not None:
+            self.on_send_space(self)
+
+    def _process_fin(self, seg: TCPSegment) -> bool:
+        """Handle an in-order FIN; returns True if it was consumed."""
+        if not seg.fin or self.peer_fin:
+            return False
+        fin_seq = seg.seq + seg.length
+        if fin_seq != self.recv.rcv_nxt:
+            return False  # out of order; peer will retransmit
+        self.recv.reasm.rcv_nxt += 1
+        self.peer_fin = True
+        if self.on_peer_fin is not None:
+            self.on_peer_fin(self)
+        else:
+            self.close()
+        return True
+
+    def _maybe_done(self) -> None:
+        if (self.fin_acked and self.peer_fin
+                and self.state != State.CLOSED):
+            self.state = State.CLOSED
+            self.t_rexmt = None
+            self.stats.close_time = self.now
+            self._trace(Kind.STATE, self.state.value)
+            self.protocol.connection_closed(self)
+            if self.on_closed is not None:
+                self.on_closed(self)
+
+    # ------------------------------------------------------------------
+    # Fine-grained clock bookkeeping (§3.1)
+    # ------------------------------------------------------------------
+    def _fine_sample_for(self, ack: int) -> Optional[float]:
+        """Exact RTT for the segment whose end is *ack*, if unambiguous."""
+        ts = self._send_times.get(ack)
+        if ts is None or ack in self._ambiguous:
+            return None
+        return self.now - ts
+
+    def _purge_send_times(self, ack: int) -> None:
+        stale = [k for k in self._send_times if k <= ack]
+        for k in stale:
+            del self._send_times[k]
+            self._ambiguous.discard(k)
+
+    def first_unacked_send_time(self) -> Optional[float]:
+        """Latest transmit time of the segment containing ``snd_una``.
+
+        This is the clock Vegas reads when a duplicate ACK arrives: if
+        ``now - send_time > fine RTO`` the segment is declared lost
+        without waiting for three duplicates.
+        """
+        best_end: Optional[int] = None
+        for end_seq in self._send_times:
+            if end_seq > self.snd_una and (best_end is None or end_seq < best_end):
+                best_end = end_seq
+        if best_end is None:
+            return None
+        return self._send_times[best_end]
+
+    # ------------------------------------------------------------------
+    # Timers (driven by the host protocol's periodic timers)
+    # ------------------------------------------------------------------
+    def slow_tick(self) -> None:
+        """One 500 ms coarse-timer tick (the Figure-2 'diamond')."""
+        if self.state == State.CLOSED:
+            return
+        self._trace(Kind.TIMER_CHECK,
+                    self.t_rexmt if self.t_rexmt is not None else -1)
+        if self._timing_seq is not None:
+            self._timing_ticks += 1
+        if self.t_rexmt is not None:
+            self.t_rexmt -= 1
+            if self.t_rexmt <= 0:
+                self._coarse_timeout()
+        self._maybe_persist_probe()
+
+    def fast_tick(self) -> None:
+        """One 200 ms fast-timer tick: flush a pending delayed ACK."""
+        if self.state == State.CLOSED:
+            return
+        if self.recv.delack_pending:
+            self.send_ack()
+
+    def _arm_rexmt(self, force: bool = False) -> None:
+        if self.t_rexmt is None or force:
+            self.t_rexmt = self.coarse_rtt.backed_off_rto(self.rexmt_shift)
+
+    def _coarse_timeout(self) -> None:
+        self.stats.coarse_timeouts += 1
+        self._trace(Kind.COARSE_TIMEOUT, self.snd_una)
+        self.consecutive_timeouts += 1
+        if self.consecutive_timeouts > C.MAX_REXMT_SHIFT:
+            self._abort()
+            return
+        self.rexmt_shift = min(self.rexmt_shift + 1, C.MAX_REXMT_SHIFT)
+        self._timing_seq = None  # Karn
+        self.dupacks = 0
+        self.cc.on_coarse_timeout(self.now)
+        self._arm_rexmt(force=True)
+        if self.state in (State.SYN_SENT, State.SYN_RCVD):
+            self._send_syn(ack=(self.state == State.SYN_RCVD))
+            return
+        # Go back to the first unacknowledged byte; with cwnd reset to
+        # one segment, output() resends exactly one segment.
+        self.snd_nxt = max(self.snd_una, min(self.snd_nxt, self.snd_una))
+        self.snd_nxt = self.snd_una
+        if self.snd_una >= self.sendbuf.queued_end and self.fin_sent:
+            self._send_fin_again()
+        else:
+            self.output()
+
+    def _pacing_blocked(self) -> bool:
+        """True when pacing defers transmission; reschedules output."""
+        rate = self.cc.pacing_rate()
+        if rate is None or self.now >= self._pace_next_time:
+            return False
+        if self._pace_event is None or self._pace_event.cancelled:
+            self._pace_event = self.sim.schedule(
+                self._pace_next_time - self.now, self._pace_fire)
+        return True
+
+    def _pace_fire(self) -> None:
+        self._pace_event = None
+        self.output()
+
+    def _pacing_charge(self, length: int) -> None:
+        """Advance the pacing clock after sending *length* bytes."""
+        rate = self.cc.pacing_rate()
+        if rate is None or rate <= 0:
+            return
+        base = max(self._pace_next_time, self.now)
+        self._pace_next_time = base + length / rate
+
+    def _abort(self) -> None:
+        """Give up after too many fruitless retransmissions (BSD-style)."""
+        self.aborted = True
+        self.state = State.CLOSED
+        self.t_rexmt = None
+        self.stats.close_time = self.now
+        self._trace(Kind.STATE, self.state.value)
+        self.protocol.connection_closed(self)
+        if self.on_closed is not None:
+            self.on_closed(self)
+
+    def _maybe_persist_probe(self) -> None:
+        """Minimal persist behaviour: probe a zero window once per tick."""
+        if (self.state in (State.ESTABLISHED, State.CLOSING)
+                and self.peer_wnd == 0 and self.flight_size() == 0
+                and self.unsent_bytes() > 0):
+            self._send_data_segment(self.snd_nxt, 1)
+
+    # ------------------------------------------------------------------
+    # Misc
+    # ------------------------------------------------------------------
+    def _trace(self, kind: Kind, a: float = 0.0, b: float = 0.0) -> None:
+        self.tracer.record(self.now, kind, a, b)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"TCPConnection({self.flow}, {self.state.name}, "
+                f"una={self.snd_una}, nxt={self.snd_nxt}, "
+                f"cwnd={self.cc.cwnd})")

@@ -1,0 +1,53 @@
+"""Protocol constants, following 4.3 BSD Reno conventions.
+
+The coarse timer values matter enormously to the reproduction: the
+paper's §3.1 observation — Reno takes ~1100 ms to recover losses that
+a fine-grained clock would recover in under 300 ms — comes directly
+from the 500 ms slow-timer granularity and the 2-tick minimum RTO.
+"""
+
+from __future__ import annotations
+
+#: Maximum segment size in bytes ("segment size of 1 KB" in the paper).
+DEFAULT_MSS = 1024
+
+#: TCP + IP header bytes charged per segment on the wire.
+HEADER_BYTES = 40
+
+#: BSD slow-timer period (seconds): retransmit bookkeeping granularity.
+SLOW_TICK = 0.5
+
+#: BSD fast-timer period (seconds): delayed-ACK flush granularity.
+FAST_TICK = 0.2
+
+#: Minimum retransmit timeout in slow-timer ticks (2 ticks = 1 s in BSD).
+MIN_RTO_TICKS = 2
+
+#: Maximum retransmit timeout in slow-timer ticks (64 s).
+MAX_RTO_TICKS = 128
+
+#: RTO used before any RTT sample exists, in ticks (BSD's 6 s default).
+INITIAL_RTO_TICKS = 12
+
+#: Maximum exponential-backoff shift applied to the RTO.
+MAX_REXMT_SHIFT = 12
+
+#: Number of duplicate ACKs that triggers fast retransmit.
+DUPACK_THRESHOLD = 3
+
+#: Default socket buffer size (the paper runs TCP with 50 KB buffers).
+DEFAULT_SOCKBUF = 50 * 1024
+
+#: Ceiling on the congestion window (bytes); generous, the advertised
+#: window is the practical limit in all experiments.
+MAX_CWND = 1 << 20
+
+#: Fine-grained RTO floor in seconds for Vegas' per-segment timeout
+#: checks.  The paper says "less than 300 ms would have been the
+#: correct timeout" for its Internet path; a small floor prevents
+#: spurious retransmissions from micro-jitter while keeping Vegas'
+#: reaction an order of magnitude faster than Reno's 1 s floor.
+MIN_FINE_RTO = 0.05
+
+#: RTO used by the fine estimator before any sample exists (seconds).
+INITIAL_FINE_RTO = 3.0

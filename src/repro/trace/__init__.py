@@ -1,0 +1,24 @@
+"""Trace facility: compact records, tracers, series extraction, graphs."""
+
+from repro.trace.graphs import (
+    CamPanel,
+    CommonElements,
+    TraceGraph,
+    WindowsPanel,
+    build_trace_graph,
+)
+from repro.trace.records import Kind, Record
+from repro.trace.tracer import NULL_TRACER, ConnectionTracer, RouterTracer
+
+__all__ = [
+    "Kind",
+    "Record",
+    "ConnectionTracer",
+    "RouterTracer",
+    "NULL_TRACER",
+    "TraceGraph",
+    "CommonElements",
+    "WindowsPanel",
+    "CamPanel",
+    "build_trace_graph",
+]

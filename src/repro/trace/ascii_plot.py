@@ -1,0 +1,142 @@
+"""Text rendering of trace graphs.
+
+The paper's tools drew PostScript; ours draw text, which is what the
+examples print.  A plot is a fixed-size character grid: one or more
+``(time, value)`` series drawn with distinct glyphs, plus optional
+event marks along the top and bottom edges, mirroring the layout of
+the paper's trace graphs.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+Series = Sequence[Tuple[float, float]]
+
+
+class AsciiPlot:
+    """A character-grid line plot."""
+
+    def __init__(self, width: int = 78, height: int = 16,
+                 t_min: Optional[float] = None, t_max: Optional[float] = None,
+                 v_min: float = 0.0, v_max: Optional[float] = None,
+                 title: str = "", unit: str = ""):
+        self.width = width
+        self.height = height
+        self.t_min = t_min
+        self.t_max = t_max
+        self.v_min = v_min
+        self.v_max = v_max
+        self.title = title
+        self.unit = unit
+        self._series: List[Tuple[Series, str]] = []
+        self._top_marks: List[Tuple[Sequence[float], str]] = []
+
+    def add_series(self, series: Series, glyph: str = "*") -> "AsciiPlot":
+        if series:
+            self._series.append((series, glyph[0]))
+        return self
+
+    def add_top_marks(self, times: Sequence[float], glyph: str = "o") -> "AsciiPlot":
+        if times:
+            self._top_marks.append((times, glyph[0]))
+        return self
+
+    # ------------------------------------------------------------------
+    def _bounds(self) -> Tuple[float, float, float, float]:
+        all_t = [t for s, _ in self._series for t, _ in s]
+        for times, _ in self._top_marks:
+            all_t.extend(times)
+        all_v = [v for s, _ in self._series for _, v in s]
+        t0 = self.t_min if self.t_min is not None else (min(all_t) if all_t else 0.0)
+        t1 = self.t_max if self.t_max is not None else (max(all_t) if all_t else 1.0)
+        v0 = self.v_min
+        v1 = self.v_max if self.v_max is not None else (max(all_v) if all_v else 1.0)
+        if t1 <= t0:
+            t1 = t0 + 1.0
+        if v1 <= v0:
+            v1 = v0 + 1.0
+        return t0, t1, v0, v1
+
+    def render(self) -> str:
+        """Render the plot to a multi-line string."""
+        t0, t1, v0, v1 = self._bounds()
+        grid = [[" "] * self.width for _ in range(self.height)]
+
+        def col(t: float) -> int:
+            return max(0, min(self.width - 1,
+                              int((t - t0) / (t1 - t0) * (self.width - 1))))
+
+        def row(v: float) -> int:
+            frac = (v - v0) / (v1 - v0)
+            frac = max(0.0, min(1.0, frac))
+            return self.height - 1 - int(frac * (self.height - 1))
+
+        for series, glyph in self._series:
+            # Step interpolation: carry the value between points so the
+            # plot reads like the paper's window graphs.
+            filled: Dict[int, float] = {}
+            prev_v: Optional[float] = None
+            prev_c = 0
+            for t, v in series:
+                c = col(t)
+                if prev_v is not None:
+                    for cc in range(prev_c, c):
+                        filled.setdefault(cc, prev_v)
+                filled[c] = v
+                prev_v, prev_c = v, c
+            for c, v in filled.items():
+                grid[row(v)][c] = glyph
+
+        top = [" "] * self.width
+        for times, glyph in self._top_marks:
+            for t in times:
+                if t0 <= t <= t1:
+                    top[col(t)] = glyph
+
+        lines = []
+        if self.title:
+            lines.append(self.title)
+        lines.append("".join(top))
+        axis_label = f"{v1:,.0f} {self.unit}".rstrip()
+        for i, grid_row in enumerate(grid):
+            prefix = f"{axis_label:>12} |" if i == 0 else f"{'':>12} |"
+            if i == self.height - 1:
+                prefix = f"{f'{v0:,.0f}':>12} |"
+            lines.append(prefix + "".join(grid_row))
+        lines.append(f"{'':>12} +" + "-" * self.width)
+        lines.append(f"{'':>14}{t0:<12.2f}{'time (s)':^{max(0, self.width - 24)}}{t1:>10.2f}")
+        return "\n".join(lines)
+
+
+def render_windows_panel(graph, width: int = 78) -> str:
+    """Figure-3-style windows panel for a TraceGraph, as text."""
+    plot = AsciiPlot(width=width, title=f"{graph.name}: windows (bytes)")
+    plot.add_series(graph.windows.congestion_window, "#")
+    plot.add_series(graph.windows.bytes_in_transit, ".")
+    plot.add_top_marks(graph.common.timeout_circles, "O")
+    plot.add_top_marks(graph.common.loss_lines, "|")
+    return plot.render()
+
+
+def render_rate_panel(graph, width: int = 78) -> str:
+    """Sending-rate panel (Figure 1 bottom), KB/s, as text."""
+    rate_kb = [(t, v / 1024.0) for t, v in graph.sending_rate]
+    plot = AsciiPlot(width=width, title=f"{graph.name}: sending rate (KB/s)",
+                     unit="KB/s")
+    plot.add_series(rate_kb, "*")
+    return plot.render()
+
+
+def render_cam_panel(graph, width: int = 78) -> str:
+    """Figure-8-style CAM panel (expected/actual KB/s), as text."""
+    if graph.cam is None:
+        return f"{graph.name}: no CAM data (not a Vegas trace)"
+    expected = [(t, v / 1024.0) for t, v in graph.cam.expected]
+    actual = [(t, v / 1024.0) for t, v in graph.cam.actual]
+    plot = AsciiPlot(width=width,
+                     title=f"{graph.name}: CAM expected(#) vs actual(*) KB/s",
+                     unit="KB/s")
+    plot.add_series(expected, "#")
+    plot.add_series(actual, "*")
+    return plot.render()

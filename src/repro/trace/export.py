@@ -1,0 +1,104 @@
+"""Export trace graphs to portable formats.
+
+The paper's tools rendered PostScript; downstream users of this
+library will want the raw series for their own plotting stacks.  Two
+formats:
+
+* **CSV** — one file per panel series, ``time,value`` rows;
+* **JSON** — the entire :class:`~repro.trace.graphs.TraceGraph` as one
+  document (marks, panels, CAM data), suitable for d3/matplotlib/R.
+
+Both are plain-text and dependency-free.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Dict, List, Tuple
+
+from repro.trace.graphs import TraceGraph
+
+Series = List[Tuple[float, float]]
+
+
+def graph_to_dict(graph: TraceGraph) -> Dict:
+    """A JSON-ready dictionary of every panel in *graph*."""
+    out: Dict = {
+        "name": graph.name,
+        "duration": graph.duration,
+        "losses": graph.losses(),
+        "common": {
+            "ack_marks": list(graph.common.ack_marks),
+            "send_marks": list(graph.common.send_marks),
+            "kilobyte_marks": [list(p) for p in graph.common.kilobyte_marks],
+            "timer_diamonds": list(graph.common.timer_diamonds),
+            "timeout_circles": list(graph.common.timeout_circles),
+            "loss_lines": list(graph.common.loss_lines),
+        },
+        "windows": {
+            "threshold_window": [list(p) for p in
+                                 graph.windows.threshold_window],
+            "send_window": [list(p) for p in graph.windows.send_window],
+            "congestion_window": [list(p) for p in
+                                  graph.windows.congestion_window],
+            "bytes_in_transit": [list(p) for p in
+                                 graph.windows.bytes_in_transit],
+        },
+        "sending_rate": [list(p) for p in graph.sending_rate],
+    }
+    if graph.cam is not None:
+        out["cam"] = {
+            "alpha": graph.cam.alpha,
+            "beta": graph.cam.beta,
+            "decision_times": list(graph.cam.decision_times),
+            "expected": [list(p) for p in graph.cam.expected],
+            "actual": [list(p) for p in graph.cam.actual],
+            "diff_buffers": [list(p) for p in graph.cam.diff_buffers],
+        }
+    return out
+
+
+def export_json(graph: TraceGraph, path: str) -> str:
+    """Write *graph* as one JSON document; returns the path."""
+    with open(path, "w") as handle:
+        json.dump(graph_to_dict(graph), handle, indent=1)
+    return path
+
+
+def export_csv(graph: TraceGraph, directory: str) -> List[str]:
+    """Write each panel series as ``<name>__<series>.csv``.
+
+    Returns the list of files written.  Event-mark series (single
+    times) are written with a constant value column of 1.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def series_file(label: str, series: Series) -> None:
+        path = os.path.join(directory, f"{graph.name}__{label}.csv")
+        with open(path, "w") as handle:
+            handle.write("time,value\n")
+            for t, v in series:
+                handle.write(f"{t:.6f},{v:.6f}\n")
+        written.append(path)
+
+    def marks_file(label: str, times: List[float]) -> None:
+        series_file(label, [(t, 1.0) for t in times])
+
+    marks_file("ack_marks", graph.common.ack_marks)
+    marks_file("send_marks", graph.common.send_marks)
+    marks_file("timer_diamonds", graph.common.timer_diamonds)
+    marks_file("timeout_circles", graph.common.timeout_circles)
+    marks_file("loss_lines", graph.common.loss_lines)
+    series_file("kilobyte_marks", graph.common.kilobyte_marks)
+    series_file("threshold_window", graph.windows.threshold_window)
+    series_file("send_window", graph.windows.send_window)
+    series_file("congestion_window", graph.windows.congestion_window)
+    series_file("bytes_in_transit", graph.windows.bytes_in_transit)
+    series_file("sending_rate", graph.sending_rate)
+    if graph.cam is not None:
+        series_file("cam_expected", graph.cam.expected)
+        series_file("cam_actual", graph.cam.actual)
+        series_file("cam_diff_buffers", graph.cam.diff_buffers)
+    return written

@@ -1,0 +1,52 @@
+"""Compact trace records.
+
+The paper's trace facility "writes trace data to memory ... and keeps
+the amount of data associated with each trace entry small (8 bytes)".
+We mirror the spirit: each record is a 4-tuple ``(time, kind, a, b)``
+appended to an in-memory list, where ``kind`` is a small integer and
+``a``/``b`` are numeric operands whose meaning depends on the kind.
+
+The kinds cover everything needed to regenerate the paper's graphs
+(Figures 1–3 and 6–9): segment sends/retransmissions, ACK arrivals,
+window variables, the coarse timer's periodic checks (the "diamonds"),
+coarse timeouts (the "circles"), and Vegas' once-per-RTT congestion
+avoidance decisions (the Figure-8 panel).
+"""
+
+from __future__ import annotations
+
+from enum import IntEnum
+from typing import NamedTuple
+
+
+class Kind(IntEnum):
+    """Trace record kinds.  Operand meanings are given per kind."""
+
+    SEND = 1            # a = seq, b = length        (segment transmitted)
+    RETX = 2            # a = seq, b = length        (segment retransmitted)
+    ACK_RX = 3          # a = ack value, b = 0       (new ACK received)
+    DUPACK_RX = 4       # a = ack value, b = count   (duplicate ACK)
+    CWND = 5            # a = cwnd bytes             (congestion window change)
+    SSTHRESH = 6        # a = ssthresh bytes         (threshold window change)
+    SND_WND = 7         # a = send window bytes      (min(sndbuf, peer wnd))
+    FLIGHT = 8          # a = bytes in transit
+    TIMER_CHECK = 9     # coarse timer fired; a = pending rexmt ticks or -1
+    COARSE_TIMEOUT = 10  # a = seq retransmitted
+    FINE_RETX = 11      # a = seq, b = 1 dup-ack path / 2 post-retx-ack path
+    CAM = 12            # a = expected B/s, b = actual B/s (Vegas decision)
+    CAM_DECISION = 13   # a = diff in buffers x1000, b = -1 dec / 0 hold / +1 inc
+    STATE = 14          # a = connection state enum value
+    ESTABLISHED = 15    # a = 0
+    APP_WRITE = 16      # a = bytes queued by application
+    FIN = 17            # a = seq of FIN
+    SS_MODE = 18        # a = 1 entering slow-start, 0 leaving (Vegas/Reno)
+    RTT_SAMPLE = 19     # a = fine-grained RTT sample in microseconds
+
+
+class Record(NamedTuple):
+    """A single trace entry."""
+
+    time: float
+    kind: int
+    a: float
+    b: float

@@ -1,0 +1,166 @@
+"""Extraction of the paper's graph data series from trace records.
+
+Figure 2 of the paper keys the common trace-graph elements: ACK-arrival
+hash marks, segment-send hash marks, kilobyte progress labels, the
+coarse timer's periodic "diamonds", timeout "circles", and vertical
+lines at the original send times of segments that were later
+retransmitted.  Figure 3 keys the windows panel (threshold window,
+send window, congestion window, bytes in transit) and Figure 8 the
+Vegas CAM panel (Expected/Actual rates against the α/β thresholds).
+
+Each extractor below turns a :class:`ConnectionTracer`'s records into
+one of those series as ``(time, value)`` tuples.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.trace.records import Kind, Record
+from repro.trace.tracer import ConnectionTracer
+
+Series = List[Tuple[float, float]]
+
+
+def step_series(tracer: ConnectionTracer, kind: Kind) -> Series:
+    """(time, value-a) points for every record of *kind*, in order."""
+    return [(r.time, r.a) for r in tracer.of_kind(kind)]
+
+
+def send_marks(tracer: ConnectionTracer) -> List[float]:
+    """Times of every segment transmission (Figure 2, element 2)."""
+    want = {int(Kind.SEND), int(Kind.RETX)}
+    return [r.time for r in tracer.records if r.kind in want]
+
+
+def ack_marks(tracer: ConnectionTracer) -> List[float]:
+    """Times of every new-ACK arrival (Figure 2, element 1)."""
+    return [r.time for r in tracer.of_kind(Kind.ACK_RX)]
+
+
+def timer_diamonds(tracer: ConnectionTracer) -> List[float]:
+    """Coarse-timer check times (Figure 2, element 4)."""
+    return [r.time for r in tracer.of_kind(Kind.TIMER_CHECK)]
+
+
+def timeout_circles(tracer: ConnectionTracer) -> List[float]:
+    """Coarse-timeout times (Figure 2, element 5)."""
+    return [r.time for r in tracer.of_kind(Kind.COARSE_TIMEOUT)]
+
+
+def loss_lines(tracer: ConnectionTracer) -> List[float]:
+    """Original-send times of segments later retransmitted (element 6).
+
+    "Solid vertical lines ... indicate when a segment that is
+    eventually retransmitted was originally sent, presumably because
+    it was lost."  We find, for every RETX record, the most recent
+    earlier SEND/RETX record covering the same starting sequence.
+    """
+    last_sent_at = {}
+    lines: List[float] = []
+    for r in tracer.records:
+        if r.kind == int(Kind.SEND):
+            last_sent_at[r.a] = r.time
+        elif r.kind == int(Kind.RETX):
+            original = last_sent_at.get(r.a)
+            if original is not None:
+                lines.append(original)
+            last_sent_at[r.a] = r.time
+    return lines
+
+
+def kilobyte_marks(tracer: ConnectionTracer, every_kb: int = 100) -> Series:
+    """(time, kb) when each multiple of *every_kb* new kilobytes was sent
+    (Figure 2, element 3)."""
+    sent = 0
+    next_mark = every_kb * 1024
+    marks: Series = []
+    for r in tracer.of_kind(Kind.SEND):
+        sent += r.b
+        while sent >= next_mark:
+            marks.append((r.time, next_mark / 1024))
+            next_mark += every_kb * 1024
+    return marks
+
+
+def sending_rate_series(tracer: ConnectionTracer,
+                        window_segments: int = 12) -> Series:
+    """Average sending rate "calculated from the last 12 segments"
+    (Figure 1, bottom graph), in bytes/second."""
+    sends = [(r.time, r.b) for r in tracer.records
+             if r.kind in (int(Kind.SEND), int(Kind.RETX)) and r.b > 0]
+    series: Series = []
+    for i in range(window_segments, len(sends)):
+        t0 = sends[i - window_segments][0]
+        t1 = sends[i][0]
+        nbytes = sum(b for _, b in sends[i - window_segments + 1:i + 1])
+        if t1 > t0:
+            series.append((t1, nbytes / (t1 - t0)))
+    return series
+
+
+def cam_series(tracer: ConnectionTracer) -> Tuple[Series, Series]:
+    """(expected, actual) rate series from Vegas CAM decisions
+    (Figure 8, elements 2 and 3), in bytes/second."""
+    expected: Series = []
+    actual: Series = []
+    for r in tracer.of_kind(Kind.CAM):
+        expected.append((r.time, r.a))
+        actual.append((r.time, r.b))
+    return expected, actual
+
+
+def cam_diff_series(tracer: ConnectionTracer) -> Series:
+    """Diff in router buffers at each CAM decision."""
+    return [(r.time, r.a / 1000.0) for r in tracer.of_kind(Kind.CAM_DECISION)]
+
+
+def rtt_series(tracer: ConnectionTracer) -> Series:
+    """(time, rtt seconds) for every fine-grained sample the sender took.
+
+    The latency story in one series: Reno's samples climb to the full
+    queueing delay before each loss; Vegas' stay near BaseRTT plus its
+    α..β segments.
+    """
+    return [(r.time, r.a / 1e6) for r in tracer.of_kind(Kind.RTT_SAMPLE)]
+
+
+def value_at(series: Series, time: float) -> Optional[float]:
+    """Value of a step series at *time* (last point at or before it)."""
+    best = None
+    for t, v in series:
+        if t <= time:
+            best = v
+        else:
+            break
+    return best
+
+
+def sawtooth_count(series: Series, drop_fraction: float = 0.3) -> int:
+    """Count significant drops in a window series (Reno's sawtooth).
+
+    A drop is counted whenever a point falls below ``(1 -
+    drop_fraction)`` of the running maximum since the previous drop;
+    used by the Figure-6 benchmark to verify Reno's periodic
+    self-induced losses.
+    """
+    count = 0
+    peak = 0.0
+    for _, v in series:
+        if v > peak:
+            peak = v
+        elif peak > 0 and v < peak * (1.0 - drop_fraction):
+            count += 1
+            peak = v
+    return count
+
+
+def steady_state_stats(series: Series, t_start: float,
+                       t_end: Optional[float] = None) -> Tuple[float, float]:
+    """(mean, max-min spread) of a series restricted to [t_start, t_end]."""
+    points = [v for t, v in series
+              if t >= t_start and (t_end is None or t <= t_end)]
+    if not points:
+        return 0.0, 0.0
+    mean = sum(points) / len(points)
+    return mean, max(points) - min(points)

@@ -1,0 +1,99 @@
+"""Connection and router tracers.
+
+A :class:`ConnectionTracer` is attached to a TCP endpoint and collects
+:class:`~repro.trace.records.Record` entries; analysis code in
+:mod:`repro.trace.series` turns them into the time series the paper
+plots.  A :class:`RouterTracer` watches a bottleneck queue, recording
+occupancy changes and drops exactly as the paper's simulator "saves
+the size of the queues as a function of time, and the time and size of
+segments that are dropped".
+
+Tracing is off by default in experiments that only need aggregate
+statistics; the overhead of a disabled tracer is a single attribute
+test.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.net.queue import DropTailQueue
+from repro.trace.records import Kind, Record
+
+
+class ConnectionTracer:
+    """Collects trace records for one TCP connection."""
+
+    def __init__(self, name: str = "conn", enabled: bool = True):
+        self.name = name
+        self.enabled = enabled
+        self.records: List[Record] = []
+
+    def record(self, time: float, kind: Kind, a: float = 0.0, b: float = 0.0) -> None:
+        if self.enabled:
+            self.records.append(Record(time, int(kind), a, b))
+
+    def of_kind(self, kind: Kind) -> List[Record]:
+        """All records of the given kind, in time order."""
+        want = int(kind)
+        return [r for r in self.records if r.kind == want]
+
+    def count(self, kind: Kind) -> int:
+        want = int(kind)
+        return sum(1 for r in self.records if r.kind == want)
+
+    def clear(self) -> None:
+        self.records.clear()
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+
+#: Shared disabled tracer used when a connection is created without one.
+NULL_TRACER = ConnectionTracer("null", enabled=False)
+
+
+class RouterTracer:
+    """Records queue occupancy and drops at a router's egress queue."""
+
+    def __init__(self, queue: DropTailQueue, name: str = "router"):
+        self.name = name
+        self.queue = queue
+        self.depth_series: List[Tuple[float, int]] = []
+        self.drop_series: List[Tuple[float, int]] = []
+        queue.monitor = self._on_queue_event
+
+    def _on_queue_event(self, time: float, event: str, packet, depth: int) -> None:
+        if event == "drop":
+            self.drop_series.append((time, packet.size))
+        else:
+            self.depth_series.append((time, depth))
+
+    @property
+    def drops(self) -> int:
+        return len(self.drop_series)
+
+    def max_depth(self) -> int:
+        if not self.depth_series:
+            return 0
+        return max(depth for _, depth in self.depth_series)
+
+    def mean_depth(self, t_start: float = 0.0,
+                   t_end: Optional[float] = None) -> float:
+        """Time-weighted mean queue depth over ``[t_start, t_end]``."""
+        points = [(t, d) for t, d in self.depth_series if t >= t_start]
+        if not points:
+            return 0.0
+        if t_end is None:
+            t_end = points[-1][0]
+        total = 0.0
+        for (t0, d0), (t1, _) in zip(points, points[1:]):
+            if t0 >= t_end:
+                break
+            total += d0 * (min(t1, t_end) - t0)
+        # The last recorded depth persists until t_end.
+        last_t, last_d = points[-1]
+        if last_t < t_end:
+            total += last_d * (t_end - last_t)
+        span = t_end - points[0][0]
+        return total / span if span > 0 else float(points[-1][1])

@@ -1,0 +1,25 @@
+"""tcplib-style traffic generation (the paper's TRAFFIC protocol)."""
+
+from repro.trafficgen.conversations import (
+    CONVERSATION_TYPES,
+    Conversation,
+    FtpConversation,
+    NntpConversation,
+    SmtpConversation,
+    TelnetConversation,
+)
+from repro.trafficgen.distributions import DEFAULT_MIX, PORTS
+from repro.trafficgen.traffic import TrafficGenerator, TrafficServer
+
+__all__ = [
+    "CONVERSATION_TYPES",
+    "Conversation",
+    "TelnetConversation",
+    "FtpConversation",
+    "SmtpConversation",
+    "NntpConversation",
+    "DEFAULT_MIX",
+    "PORTS",
+    "TrafficGenerator",
+    "TrafficServer",
+]

@@ -1,0 +1,174 @@
+"""The TRAFFIC protocol: tcplib-driven background load.
+
+"TRAFFIC starts conversations with interarrival times given by an
+exponential distribution.  Each conversation can be of type TELNET,
+FTP, NNTP, or SMTP ... each of these conversations runs on top of its
+own TCP connection."  (§2.1)
+
+A :class:`TrafficServer` installs the well-known-port listeners on the
+destination host; a :class:`TrafficGenerator` on the source host draws
+conversation types and parameters and launches them.  The generator
+reports the offered/achieved statistics the paper plots in Figure 9's
+bottom panel and tabulates in Table 3.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable, Dict, List, Optional
+
+from repro.sim.rng import weighted_choice
+from repro.tcp.connection import TCPConnection
+from repro.tcp.protocol import TCPProtocol
+from repro.trafficgen import distributions as D
+from repro.trafficgen.conversations import CONVERSATION_TYPES, Conversation
+
+
+class TrafficServer:
+    """Server side of TRAFFIC: listeners with per-type behaviour.
+
+    * telnet: echo a few bytes per keystroke (reverse chatter);
+    * ftp control: short command replies;
+    * ftp-data / smtp / nntp: sink.
+    """
+
+    def __init__(self, protocol: TCPProtocol, rng: random.Random,
+                 cc_factory: Callable):
+        self.protocol = protocol
+        self.rng = rng
+        self.bytes_received = 0
+
+        def _sink(conn: TCPConnection) -> None:
+            conn.on_data = self._count
+
+        def _echo(conn: TCPConnection) -> None:
+            conn.on_data = self._echo_data
+
+        def _control(conn: TCPConnection) -> None:
+            conn.on_data = self._control_reply
+
+        protocol.listen(D.PORTS["telnet"], cc=cc_factory, on_accept=_echo,
+                        nagle=False)
+        protocol.listen(D.PORTS["ftp"], cc=cc_factory, on_accept=_control,
+                        nagle=False)
+        protocol.listen(D.PORTS["ftp-data"], cc=cc_factory, on_accept=_sink)
+        protocol.listen(D.PORTS["smtp"], cc=cc_factory, on_accept=_sink)
+        protocol.listen(D.PORTS["nntp"], cc=cc_factory, on_accept=_sink)
+
+    def _count(self, conn: TCPConnection, nbytes: int) -> None:
+        self.bytes_received += nbytes
+
+    def _echo_data(self, conn: TCPConnection, nbytes: int) -> None:
+        self.bytes_received += nbytes
+        if not conn.fin_pending and not conn.fin_sent:
+            conn.app_send(self.rng.randrange(1, 30))
+
+    def _control_reply(self, conn: TCPConnection, nbytes: int) -> None:
+        self.bytes_received += nbytes
+        if not conn.fin_pending and not conn.fin_sent:
+            conn.app_send(self.rng.randrange(20, 60))
+
+
+class TrafficGenerator:
+    """Client side of TRAFFIC: exponential conversation arrivals.
+
+    Args:
+        client: protocol instance on the traffic source host.
+        server_addr: destination host name (must run a TrafficServer).
+        rng: random stream for arrivals and conversation parameters.
+        cc_factory: congestion control used by the *background*
+            connections (the paper runs Tables 2/3 with both Reno and
+            Vegas here).
+        arrival_mean: mean seconds between conversation starts.
+        mix: conversation-type weights (defaults to tcplib-ish mix).
+        stop_at: stop launching new conversations at this time
+            (existing ones run to completion).
+    """
+
+    def __init__(self, client: TCPProtocol, server_addr: str,
+                 rng: random.Random, cc_factory: Callable,
+                 arrival_mean: float = 1.0,
+                 mix: Optional[Dict[str, float]] = None,
+                 stop_at: Optional[float] = None,
+                 max_conversations: Optional[int] = None):
+        self.client = client
+        self.sim = client.sim
+        self.server_addr = server_addr
+        self.rng = rng
+        self.cc_factory = cc_factory
+        self.arrival_mean = arrival_mean
+        self.mix = dict(mix) if mix is not None else dict(D.DEFAULT_MIX)
+        self.stop_at = stop_at
+        self.max_conversations = max_conversations
+        self.conversations: List[Conversation] = []
+        self.started_by_type: Dict[str, int] = {k: 0 for k in self.mix}
+        self._running = False
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start(self, initial_delay: Optional[float] = None) -> None:
+        """Begin launching conversations."""
+        self._running = True
+        delay = (initial_delay if initial_delay is not None
+                 else self.rng.expovariate(1.0 / self.arrival_mean))
+        self.sim.schedule(delay, self._launch_one)
+
+    def stop(self) -> None:
+        """Stop launching new conversations."""
+        self._running = False
+
+    def _launch_one(self) -> None:
+        if not self._running:
+            return
+        if self.stop_at is not None and self.sim.now >= self.stop_at:
+            self._running = False
+            return
+        if (self.max_conversations is not None
+                and len(self.conversations) >= self.max_conversations):
+            self._running = False
+            return
+        kind = weighted_choice(self.rng, self.mix)
+        conv_cls = CONVERSATION_TYPES[kind]
+        conv = conv_cls(self.client, self.server_addr, self.rng,
+                        self.cc_factory)
+        self.conversations.append(conv)
+        self.started_by_type[kind] += 1
+        conv.start()
+        self.sim.schedule(self.rng.expovariate(1.0 / self.arrival_mean),
+                          self._launch_one)
+
+    # ------------------------------------------------------------------
+    # Statistics (Table 3 / Figure 9 / §6)
+    # ------------------------------------------------------------------
+    def total_bytes_acked(self) -> int:
+        """Application bytes delivered by all background connections."""
+        total = 0
+        for conv in self.conversations:
+            for conn in conv.connections:
+                total += conn.stats.app_bytes_acked
+        return total
+
+    def throughput_kbps(self, t_start: float, t_end: float) -> float:
+        """Aggregate background goodput over [t_start, t_end] in KB/s."""
+        if t_end <= t_start:
+            return 0.0
+        return self.total_bytes_acked() / 1024.0 / (t_end - t_start)
+
+    def total_retransmitted_kb(self) -> float:
+        total = 0.0
+        for conv in self.conversations:
+            for conn in conv.connections:
+                total += conn.stats.retransmitted_kb()
+        return total
+
+    def telnet_response_times(self) -> List[float]:
+        """All keystroke→echo latencies measured so far (§6 metric)."""
+        samples: List[float] = []
+        for conv in self.conversations:
+            if conv.kind == "telnet":
+                samples.extend(conv.response_times)
+        return samples
+
+    def finished_count(self) -> int:
+        return sum(1 for c in self.conversations if c.finished)

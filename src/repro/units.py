@@ -1,0 +1,63 @@
+"""Unit conventions shared by the whole library.
+
+The paper reports sizes in kilobytes and rates in KB/s, where one
+kilobyte is 1024 bytes.  Time is kept in float seconds throughout the
+simulator.  This module centralises those conventions together with a
+handful of small conversion helpers so the rest of the code never has
+magic constants sprinkled through it.
+"""
+
+from __future__ import annotations
+
+#: Bytes per kilobyte, following the paper's convention (1 KB = 1024 B).
+KB = 1024
+
+#: Bytes per megabyte.
+MB = 1024 * KB
+
+#: Seconds per millisecond.
+MS = 1e-3
+
+#: Seconds per microsecond.
+US = 1e-6
+
+
+def kb(n: float) -> int:
+    """Return *n* kilobytes expressed in bytes (rounded to whole bytes)."""
+    return int(round(n * KB))
+
+
+def mb(n: float) -> int:
+    """Return *n* megabytes expressed in bytes (rounded to whole bytes)."""
+    return int(round(n * MB))
+
+
+def kbps(n: float) -> float:
+    """Return a rate of *n* KB/s expressed in bytes per second."""
+    return n * KB
+
+
+def mbps(n: float) -> float:
+    """Return a rate of *n* megabits per second in bytes per second."""
+    return n * 1e6 / 8.0
+
+
+def ms(n: float) -> float:
+    """Return *n* milliseconds expressed in seconds."""
+    return n * MS
+
+
+def bytes_to_kb(n: float) -> float:
+    """Convert a byte count to kilobytes (float, paper convention)."""
+    return n / KB
+
+
+def rate_kbps(nbytes: float, seconds: float) -> float:
+    """Throughput in KB/s for *nbytes* transferred in *seconds*.
+
+    Returns 0.0 when the elapsed time is not positive, which happens
+    for degenerate zero-length transfers.
+    """
+    if seconds <= 0:
+        return 0.0
+    return nbytes / KB / seconds

@@ -1,0 +1,31 @@
+"""Additional CLI command coverage (fast variants of the slow paths)."""
+
+from repro.cli import main
+
+
+class TestMoreCommands:
+    def test_table4_single_seed(self, capsys):
+        assert main(["table4", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "UA->NIH" in out and "vegas-2,4" in out
+
+    def test_table5_single_seed(self, capsys):
+        assert main(["table5", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "128 KB transfers" in out
+        assert "1024 KB transfers" in out
+
+    def test_twoway_single_seed(self, capsys):
+        assert main(["twoway", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "two-way" in out
+
+    def test_figure9(self, capsys):
+        assert main(["figure9"]) == 0
+        out = capsys.readouterr().out
+        assert "Figure 9" in out and "CAM" in out
+
+    def test_table3_single_seed(self, capsys):
+        assert main(["table3", "--seeds", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "background CC" in out

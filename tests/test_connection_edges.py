@@ -1,0 +1,132 @@
+"""Edge-case tests for the connection state machine."""
+
+import pytest
+
+from repro.tcp.connection import State
+from repro.tcp.segment import FLAG_ACK, FLAG_SYN, TCPSegment
+
+from helpers import make_pair
+
+
+def drop_nth(queue, indices, predicate=lambda p: True):
+    original = queue.offer
+    state = {"n": 0}
+
+    def offer(packet, now):
+        if predicate(packet):
+            state["n"] += 1
+            if state["n"] in indices:
+                return False
+        return original(packet, now)
+
+    queue.offer = offer
+
+
+class TestHandshakeEdges:
+    def test_lost_synack_recovered_by_syn_retransmit(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        # Drop the first reverse-direction packet (the SYN-ACK).
+        reverse = pair.bottleneck.channel_from(pair.topology.router("R2")).queue
+        drop_nth(reverse, {1})
+        conn = pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=60.0)
+        assert conn.state == State.ESTABLISHED
+        server = pair.proto_b.connection_list()[0]
+        assert server.state == State.ESTABLISHED
+
+    def test_duplicate_syn_does_not_create_second_connection(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=2.0)
+        # Replay the SYN (e.g. a duplicate in the network).
+        syn = TCPSegment(conn.flow.local_port, 9000, seq=0, length=0,
+                         flags=FLAG_SYN, wnd=50 * 1024)
+        from repro.net.packet import Packet
+
+        pair.b.receive(Packet("A", "B", syn, syn.wire_size))
+        pair.sim.run(until=4.0)
+        assert len(pair.proto_b.connection_list()) == 1
+
+    def test_lost_third_ack_recovered_by_data(self):
+        """If the handshake's final ACK is lost, the first data segment
+        carries the same acknowledgement and completes the accept."""
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        forward = pair.forward_queue
+        # Packet 1 = SYN (keep), packet 2 = the third ACK (drop).
+        drop_nth(forward, {2})
+        conn = pair.proto_a.connect("B", 9000)
+        conn.on_established = lambda c: c.app_send(2048)
+        pair.sim.run(until=30.0)
+        server = pair.proto_b.connection_list()[0]
+        assert server.state == State.ESTABLISHED
+        assert server.recv.bytes_delivered == 2048
+
+
+class TestCloseEdges:
+    def test_lost_fin_is_retransmitted(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=2.0)
+        conn.app_send(1024)
+        pair.sim.run(until=3.0)
+        # Drop the next forward packet (the FIN).
+        drop_nth(pair.forward_queue, {1})
+        conn.close()
+        pair.sim.run(until=60.0)
+        assert conn.is_closed
+        assert all(c.is_closed for c in pair.proto_b.connection_list())
+
+    def test_segment_to_closed_connection_reacked(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=2.0)
+        conn.close()
+        pair.sim.run(until=10.0)
+        assert conn.is_closed
+        # A stray retransmitted data segment arrives after close.
+        stray = TCPSegment(conn.flow.remote_port, conn.flow.local_port,
+                           seq=1, length=100, ack=conn.snd_nxt,
+                           flags=FLAG_ACK, wnd=1000)
+        before = pair.a.packets_sent
+        conn.handle_segment(stray)
+        assert pair.a.packets_sent == before + 1  # a re-ACK went out
+
+    def test_close_is_idempotent(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=2.0)
+        conn.close()
+        conn.close()  # second close is a no-op
+        pair.sim.run(until=10.0)
+        assert conn.is_closed
+
+
+class TestStats:
+    def test_transfer_timestamps_ordered(self):
+        from helpers import run_transfer
+
+        pair = make_pair()
+        transfer = run_transfer(pair, 16 * 1024)
+        stats = transfer.conn.stats
+        assert stats.open_time <= stats.established_time
+        assert stats.established_time <= stats.first_send_time
+        assert stats.first_send_time <= stats.last_ack_time
+        assert stats.last_ack_time <= stats.close_time
+
+    def test_bytes_accounting_consistent(self):
+        from helpers import run_transfer
+
+        pair = make_pair()
+        transfer = run_transfer(pair, 32 * 1024)
+        stats = transfer.conn.stats
+        assert stats.app_bytes_queued == 32 * 1024
+        assert stats.app_bytes_acked == 32 * 1024
+        assert stats.bytes_sent_total >= 32 * 1024
+        assert (stats.bytes_sent_total - 32 * 1024
+                == stats.retransmitted_bytes)

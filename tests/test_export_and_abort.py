@@ -1,0 +1,109 @@
+"""Tests for trace export and connection abort behaviour."""
+
+import json
+import os
+
+import pytest
+
+from repro.tcp import constants as C
+from repro.trace.export import export_csv, export_json, graph_to_dict
+from repro.trace.graphs import build_trace_graph
+from repro.trace.tracer import ConnectionTracer
+
+from helpers import make_pair, run_transfer
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def graph(self):
+        from repro.core.vegas import VegasCC
+
+        pair = make_pair()
+        tracer = ConnectionTracer("export-test")
+        run_transfer(pair, 64 * 1024, cc=VegasCC(), tracer=tracer)
+        return build_trace_graph(tracer, name="export-test",
+                                 alpha_buffers=2, beta_buffers=4)
+
+    def test_dict_round_trips_through_json(self, graph):
+        doc = graph_to_dict(graph)
+        text = json.dumps(doc)
+        back = json.loads(text)
+        assert back["name"] == "export-test"
+        assert back["losses"] == graph.losses()
+        assert len(back["windows"]["congestion_window"]) == \
+            len(graph.windows.congestion_window)
+        assert back["cam"]["alpha"] == 2
+
+    def test_export_json_writes_file(self, graph, tmp_path):
+        path = export_json(graph, str(tmp_path / "trace.json"))
+        with open(path) as handle:
+            doc = json.load(handle)
+        assert doc["common"]["send_marks"]
+
+    def test_export_csv_writes_all_series(self, graph, tmp_path):
+        files = export_csv(graph, str(tmp_path))
+        assert len(files) >= 12
+        for path in files:
+            assert os.path.exists(path)
+            with open(path) as handle:
+                header = handle.readline().strip()
+            assert header == "time,value"
+
+    def test_csv_rows_parse(self, graph, tmp_path):
+        files = export_csv(graph, str(tmp_path))
+        cwnd_file = [f for f in files if "congestion_window" in f][0]
+        with open(cwnd_file) as handle:
+            handle.readline()
+            rows = [line.strip().split(",") for line in handle]
+        assert rows
+        times = [float(t) for t, _ in rows]
+        assert times == sorted(times)
+
+
+class TestConnectionAbort:
+    def test_syn_to_blackhole_eventually_aborts(self):
+        pair = make_pair()
+        # No listener and all forward packets dropped: pure blackhole.
+        pair.forward_queue.capacity = None
+        original = pair.forward_queue.offer
+        pair.forward_queue.offer = lambda p, now: False
+        conn = pair.proto_a.connect("B", 9999)
+        closed = []
+        conn.on_closed = closed.append
+        pair.sim.run(until=3000.0)
+        assert conn.aborted
+        assert conn.is_closed
+        assert closed  # callback fired
+        # Timers stopped; the simulation went quiet.
+        assert pair.sim.pending_events == 0
+
+    def test_abort_counts_match_limit(self):
+        pair = make_pair()
+        pair.forward_queue.offer = lambda p, now: False
+        conn = pair.proto_a.connect("B", 9999)
+        pair.sim.run(until=3000.0)
+        assert conn.stats.coarse_timeouts == C.MAX_REXMT_SHIFT + 1
+
+    def test_progress_resets_the_abort_counter(self):
+        """A transfer that keeps making (slow) progress never aborts."""
+        from repro.core.reno import RenoCC
+        from repro.apps.bulk import BulkSink, BulkTransfer
+
+        pair = make_pair(queue_capacity=30)
+        BulkSink(pair.proto_b, 9000)
+        transfer = BulkTransfer(pair.proto_a, "B", 9000, 40 * 1024,
+                                cc=RenoCC())
+        # Periodic short blackouts cause repeated timeouts, but acks in
+        # between reset the consecutive counter.
+        queue = pair.forward_queue
+        original = queue.offer
+
+        def flaky(packet, now):
+            if int(now) % 4 == 0 and packet.size > 500:
+                return False
+            return original(packet, now)
+
+        queue.offer = flaky
+        pair.sim.run(until=900.0)
+        assert transfer.done
+        assert not transfer.conn.aborted

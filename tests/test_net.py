@@ -1,0 +1,288 @@
+"""Tests for the network substrate: queues, links, nodes, routing."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import ConfigurationError, RoutingError
+from repro.net.addresses import FlowId
+from repro.net.link import EthernetLan, PointToPointLink
+from repro.net.packet import Packet
+from repro.net.queue import DropTailQueue
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.units import kbps, mbps, ms
+
+
+def pkt(src="A", dst="B", size=1000):
+    return Packet(src, dst, None, size)
+
+
+class TestFlowId:
+    def test_reversed(self):
+        flow = FlowId("A", 1, "B", 2)
+        assert flow.reversed() == FlowId("B", 2, "A", 1)
+        assert flow.reversed().reversed() == flow
+
+    def test_str(self):
+        assert str(FlowId("A", 1, "B", 2)) == "A:1->B:2"
+
+
+class TestPacket:
+    def test_uids_unique(self):
+        assert pkt().uid != pkt().uid
+
+    def test_size_must_be_positive(self):
+        with pytest.raises(ValueError):
+            Packet("A", "B", None, 0)
+
+
+class TestDropTailQueue:
+    def test_fifo_order(self):
+        q = DropTailQueue(capacity=3)
+        packets = [pkt(size=i + 1) for i in range(3)]
+        for p in packets:
+            assert q.offer(p, 0.0)
+        assert [q.poll(0.0) for _ in range(3)] == packets
+
+    def test_drops_when_full(self):
+        q = DropTailQueue(capacity=2)
+        assert q.offer(pkt(), 0.0)
+        assert q.offer(pkt(), 0.0)
+        assert not q.offer(pkt(size=77), 1.5)
+        assert q.dropped == 1
+        assert q.dropped_bytes == 77
+        assert q.drops == [(1.5, 77)]
+
+    def test_unbounded_never_drops(self):
+        q = DropTailQueue(capacity=None)
+        for _ in range(1000):
+            assert q.offer(pkt(), 0.0)
+        assert q.dropped == 0
+
+    def test_poll_empty_returns_none(self):
+        assert DropTailQueue(capacity=1).poll(0.0) is None
+
+    def test_capacity_validation(self):
+        with pytest.raises(ConfigurationError):
+            DropTailQueue(capacity=0)
+
+    def test_monitor_callback(self):
+        events = []
+        q = DropTailQueue(capacity=1,
+                          monitor=lambda t, e, p, d: events.append((e, d)))
+        q.offer(pkt(), 0.0)
+        q.offer(pkt(), 0.0)  # drop
+        q.poll(0.0)
+        assert events == [("enq", 1), ("drop", 1), ("deq", 0)]
+
+    def test_max_depth_tracked(self):
+        q = DropTailQueue(capacity=10)
+        for _ in range(7):
+            q.offer(pkt(), 0.0)
+        q.poll(0.0)
+        assert q.max_depth == 7
+
+    @given(st.lists(st.sampled_from(["enq", "deq"]), max_size=200),
+           st.integers(min_value=1, max_value=20))
+    def test_depth_never_exceeds_capacity(self, ops, capacity):
+        q = DropTailQueue(capacity=capacity)
+        for op in ops:
+            if op == "enq":
+                q.offer(pkt(), 0.0)
+            else:
+                q.poll(0.0)
+            assert len(q) <= capacity
+        assert q.enqueued + q.dropped == ops.count("enq")
+
+
+class TestChannel:
+    def _one_link(self, bandwidth=kbps(100), delay=ms(10), capacity=5):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        b = topo.add_host("B")
+        link = topo.add_link(a, b, bandwidth=bandwidth, delay=delay,
+                             queue_capacity=capacity)
+        topo.build_routes()
+        return sim, topo, a, b, link
+
+    def test_delivery_latency_is_tx_plus_prop(self):
+        sim, topo, a, b, link = self._one_link()
+        arrivals = []
+        b.protocol_handler = lambda p: arrivals.append(sim.now)
+        a.send_packet(Packet("A", "B", None, 1024))
+        sim.run()
+        # 1024 B at 100 KB/s = 10 ms tx, + 10 ms propagation.
+        assert arrivals[0] == pytest.approx(0.02)
+
+    def test_back_to_back_packets_serialize(self):
+        sim, topo, a, b, link = self._one_link()
+        arrivals = []
+        b.protocol_handler = lambda p: arrivals.append(sim.now)
+        for _ in range(3):
+            a.send_packet(Packet("A", "B", None, 1024))
+        sim.run()
+        gaps = [t1 - t0 for t0, t1 in zip(arrivals, arrivals[1:])]
+        assert all(g == pytest.approx(0.01) for g in gaps)
+
+    def test_queue_overflow_drops(self):
+        sim, topo, a, b, link = self._one_link(capacity=2)
+        count = []
+        b.protocol_handler = lambda p: count.append(p.uid)
+        for _ in range(10):
+            a.send_packet(Packet("A", "B", None, 1024))
+        sim.run()
+        # 1 in flight + 2 queued accepted; rest dropped.
+        assert len(count) == 3
+        assert link.channel_from(a).queue.dropped == 7
+
+    def test_channel_from_rejects_non_endpoint(self):
+        sim, topo, a, b, link = self._one_link()
+        outsider = topo.add_host("C")
+        with pytest.raises(ConfigurationError):
+            link.channel_from(outsider)
+
+
+class TestEthernetLan:
+    def test_lan_delivers_to_addressed_node_only(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b, c = (topo.add_host(n) for n in "ABC")
+        topo.add_lan([a, b, c])
+        topo.build_routes()
+        got_b, got_c = [], []
+        b.protocol_handler = lambda p: got_b.append(p.uid)
+        c.protocol_handler = lambda p: got_c.append(p.uid)
+        a.send_packet(Packet("A", "B", None, 500))
+        sim.run()
+        assert len(got_b) == 1 and got_c == []
+
+    def test_lan_requires_two_nodes(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        with pytest.raises(ConfigurationError):
+            topo.add_lan([a])
+
+    def test_lan_serializes_at_bandwidth(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b = topo.add_host("A"), topo.add_host("B")
+        topo.add_lan([a, b], bandwidth=mbps(10), latency=ms(0.1))
+        topo.build_routes()
+        arrivals = []
+        b.protocol_handler = lambda p: arrivals.append(sim.now)
+        for _ in range(2):
+            a.send_packet(Packet("A", "B", None, 1250))
+        sim.run()
+        # 1250 B at 1.25 MB/s = 1 ms tx each; arrivals 1 ms apart.
+        assert arrivals[1] - arrivals[0] == pytest.approx(0.001)
+
+    def test_double_attach_rejected(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b = topo.add_host("A"), topo.add_host("B")
+        lan = topo.add_lan([a, b])
+        with pytest.raises(ConfigurationError):
+            lan.attach(a)
+
+
+class TestRoutingAndNodes:
+    def test_multi_hop_forwarding(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        routers = [topo.add_router(f"R{i}") for i in range(3)]
+        b = topo.add_host("B")
+        chain = [a] + routers + [b]
+        for x, y in zip(chain, chain[1:]):
+            topo.add_link(x, y, bandwidth=mbps(10), delay=ms(1))
+        topo.build_routes()
+        got = []
+        b.protocol_handler = lambda p: got.append(sim.now)
+        a.send_packet(Packet("A", "B", None, 1000))
+        sim.run()
+        assert len(got) == 1
+        for router in routers:
+            assert router.packets_forwarded == 1
+
+    def test_no_route_raises_at_host(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        b = topo.add_host("B")
+        topo.add_link(a, b, bandwidth=mbps(1), delay=ms(1))
+        topo.build_routes()
+        with pytest.raises(RoutingError):
+            a.send_packet(Packet("A", "Nowhere", None, 100))
+
+    def test_router_counts_no_route_drops(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        r = topo.add_router("R")
+        b = topo.add_host("B")
+        topo.add_link(a, r, bandwidth=mbps(1), delay=ms(1))
+        topo.add_link(r, b, bandwidth=mbps(1), delay=ms(1))
+        topo.build_routes()
+        # Remove the route and see the router account the drop.
+        del r.forwarding["B"]
+        a.send_packet(Packet("A", "B", None, 100))
+        sim.run()
+        assert r.no_route_drops == 1
+
+    def test_host_loopback(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        b = topo.add_host("B")
+        topo.add_link(a, b, bandwidth=mbps(1), delay=ms(1))
+        topo.build_routes()
+        got = []
+        a.protocol_handler = lambda p: got.append(p.uid)
+        a.send_packet(Packet("A", "A", None, 64))
+        sim.run()
+        assert len(got) == 1
+
+    def test_misaddressed_packet_counted(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b = topo.add_host("A"), topo.add_host("B")
+        topo.add_link(a, b, bandwidth=mbps(1), delay=ms(1))
+        topo.build_routes()
+        b.receive(Packet("A", "C", None, 100))
+        assert b.misdelivered == 1
+
+    def test_duplicate_node_name_rejected(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        topo.add_host("A")
+        with pytest.raises(ConfigurationError):
+            topo.add_router("A")
+
+    def test_host_and_router_lookup(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a = topo.add_host("A")
+        r = topo.add_router("R")
+        assert topo.host("A") is a
+        assert topo.router("R") is r
+        with pytest.raises(ConfigurationError):
+            topo.host("R")
+        with pytest.raises(ConfigurationError):
+            topo.router("A")
+
+    def test_routes_prefer_fewest_hops(self):
+        sim = Simulator()
+        topo = Topology(sim)
+        a, b = topo.add_host("A"), topo.add_host("B")
+        r1, r2 = topo.add_router("R1"), topo.add_router("R2")
+        # Short path A-R1-B; long path A-R1-R2-B should not be used.
+        topo.add_link(a, r1, bandwidth=mbps(10), delay=ms(1))
+        topo.add_link(r1, b, bandwidth=mbps(10), delay=ms(1))
+        topo.add_link(r1, r2, bandwidth=mbps(10), delay=ms(1))
+        topo.add_link(r2, b, bandwidth=mbps(10), delay=ms(1))
+        topo.build_routes()
+        a.send_packet(Packet("A", "B", None, 100))
+        sim.run()
+        assert r2.packets_forwarded == 0

@@ -1,0 +1,165 @@
+"""Tests for the §3.2 prior delay-based schemes: DUAL, CARD, Tri-S."""
+
+from repro.core.card import CardCC
+from repro.core.dual import DualCC
+from repro.core.registry import available, cc_factory, make_cc, register
+from repro.core.reno import RenoCC
+from repro.core.tris import TriSCC
+from repro.core.vegas import VegasCC
+from repro.errors import ConfigurationError
+
+import pytest
+
+from fakes import FakeConnection
+from helpers import make_pair, run_transfer
+
+
+def attached(cc_cls, **kwargs):
+    conn = FakeConnection()
+    cc = cc_cls(**kwargs)
+    cc.attach(conn)
+    return conn, cc
+
+
+def pump_rtt(conn, cc, rtt, rounds=1):
+    """Drive one full window through: send cwnd worth, ack it back."""
+    for _ in range(rounds):
+        segments = max(1, cc.cwnd // conn.mss)
+        for _ in range(segments):
+            conn.send(cc)
+        conn.now += rtt
+        for _ in range(segments):
+            conn.ack(cc, conn.mss, rtt=rtt)
+
+
+class TestDual:
+    def test_decreases_when_rtt_above_midpoint(self):
+        conn, cc = attached(DualCC)
+        cc.ssthresh = 4 * conn.mss  # skip slow start quickly
+        # Establish min=0.1 and max=0.3; then samples above 0.2
+        # (the midpoint) must trigger the 1/8 decrease every 2 RTTs.
+        pump_rtt(conn, cc, 0.1, rounds=2)
+        pump_rtt(conn, cc, 0.3, rounds=2)
+        before = cc.cwnd
+        pump_rtt(conn, cc, 0.29, rounds=4)
+        assert cc.delay_decreases >= 1
+        assert cc.cwnd < before + 4 * conn.mss  # growth was counteracted
+
+    def test_no_decrease_below_midpoint(self):
+        conn, cc = attached(DualCC)
+        pump_rtt(conn, cc, 0.1, rounds=2)
+        pump_rtt(conn, cc, 0.3, rounds=2)
+        decreases = cc.delay_decreases
+        pump_rtt(conn, cc, 0.11, rounds=4)
+        assert cc.delay_decreases == decreases
+
+    def test_inherits_reno_recovery(self):
+        conn, cc = attached(DualCC)
+        cc.cwnd = 10 * conn.mss
+        for _ in range(10):
+            conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        for count in (1, 2, 3):
+            cc.on_dup_ack(count, 1.0)
+        assert conn.retransmissions == ["fast"]
+        assert cc.in_recovery
+
+
+class TestCard:
+    def test_oscillates_around_operating_point(self):
+        """CARD adjusts every 2 RTTs and never sits still (the paper:
+        'it oscillates around its optimal point')."""
+        conn, cc = attached(CardCC)
+        cc.ssthresh = 2 * conn.mss
+        cc.cwnd = 4 * conn.mss
+        changes = []
+        last = cc.cwnd
+        for round_index in range(12):
+            pump_rtt(conn, cc, 0.1 + 0.01 * (round_index % 3))
+            if cc.cwnd != last:
+                changes.append(cc.cwnd - last)
+                last = cc.cwnd
+        assert cc.gradient_increases + cc.gradient_decreases >= 3
+        assert changes  # the window moved
+
+    def test_positive_gradient_decreases(self):
+        conn, cc = attached(CardCC)
+        cc.ssthresh = 2 * conn.mss
+        cc.cwnd = 8 * conn.mss
+        # Window up + RTT up => decrease by 1/8.
+        pump_rtt(conn, cc, 0.10, rounds=2)  # primes prev (W, rtt)
+        grew = cc.cwnd + conn.mss
+        cc.cwnd = grew
+        pump_rtt(conn, cc, 0.20, rounds=2)
+        assert cc.gradient_decreases >= 1
+
+    def test_reno_growth_suppressed_in_avoidance(self):
+        conn, cc = attached(CardCC)
+        cc.ssthresh = 2 * conn.mss
+        cc.cwnd = 4 * conn.mss
+        conn.send(cc)
+        conn.ack(cc, conn.mss, rtt=0.1)  # single ack, no epoch boundary
+        assert cc.cwnd == 4 * conn.mss
+
+
+class TestTriS:
+    def test_flat_throughput_slope_decreases(self):
+        conn, cc = attached(TriSCC)
+        cc.ssthresh = 2 * conn.mss
+        cc.cwnd = 6 * conn.mss
+        # RTT grows proportionally to the window: throughput flat, so
+        # the slope test must eventually shrink the window.
+        for w in range(6, 14):
+            pump_rtt(conn, cc, 0.02 * w)
+        assert cc.slope_decreases >= 1
+
+    def test_growing_throughput_increases(self):
+        conn, cc = attached(TriSCC)
+        cc.ssthresh = 2 * conn.mss
+        cc.cwnd = 4 * conn.mss
+        for _ in range(6):
+            pump_rtt(conn, cc, 0.1)  # fixed RTT: more window, more rate
+        assert cc.slope_increases >= 1
+        assert cc.cwnd > 4 * conn.mss
+
+    def test_base_throughput_recorded(self):
+        conn, cc = attached(TriSCC)
+        # The first epoch only arms the marker; the second completes it.
+        pump_rtt(conn, cc, 0.1, rounds=3)
+        assert cc.base_throughput is not None
+        assert cc.base_throughput > 0
+
+
+class TestSchemesEndToEnd:
+    @pytest.mark.parametrize("cc_cls", [DualCC, CardCC, TriSCC])
+    def test_completes_transfer_on_figure5_network(self, cc_cls):
+        pair = make_pair()
+        transfer = run_transfer(pair, 200 * 1024, cc=cc_cls())
+        assert transfer.done
+        assert transfer.conn.stats.app_bytes_acked == 200 * 1024
+
+
+class TestRegistry:
+    def test_all_schemes_registered(self):
+        names = available()
+        for expected in ("reno", "tahoe", "vegas", "vegas-1,3", "vegas-2,4",
+                         "dual", "card", "tri-s", "fixed"):
+            assert expected in names
+
+    def test_make_cc_fresh_instances(self):
+        assert make_cc("vegas") is not make_cc("vegas")
+
+    def test_vegas_variants_configured(self):
+        v13 = make_cc("vegas-1,3")
+        v24 = make_cc("vegas-2,4")
+        assert (v13.alpha, v13.beta) == (1.0, 3.0)
+        assert (v24.alpha, v24.beta) == (2.0, 4.0)
+
+    def test_unknown_name_rejected(self):
+        with pytest.raises(ConfigurationError):
+            cc_factory("cubic")
+
+    def test_register_custom(self):
+        register("test-custom", lambda: RenoCC(initial_cwnd_segments=2))
+        cc = make_cc("test-custom")
+        assert isinstance(cc, RenoCC)

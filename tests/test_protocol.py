@@ -1,0 +1,112 @@
+"""Tests for the per-host TCP protocol: demux, listeners, timers."""
+
+import pytest
+
+from repro.core.reno import RenoCC
+from repro.core.vegas import VegasCC
+from repro.errors import ConfigurationError
+
+from helpers import make_pair, run_transfer
+
+
+class TestConnect:
+    def test_ephemeral_ports_distinct(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conns = [pair.proto_a.connect("B", 9000) for _ in range(5)]
+        ports = [c.flow.local_port for c in conns]
+        assert len(set(ports)) == 5
+
+    def test_cc_instance_used_directly(self):
+        pair = make_pair()
+        cc = VegasCC()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000, cc=cc)
+        assert conn.cc is cc
+
+    def test_cc_factory_instantiated(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000, cc=VegasCC)
+        assert isinstance(conn.cc, VegasCC)
+
+    def test_default_cc_is_reno(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000)
+        assert isinstance(conn.cc, RenoCC)
+
+    def test_bad_cc_rejected(self):
+        pair = make_pair()
+        with pytest.raises(ConfigurationError):
+            pair.proto_a.connect("B", 9000, cc=42)
+
+
+class TestListen:
+    def test_duplicate_listen_rejected(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        with pytest.raises(ConfigurationError):
+            pair.proto_b.listen(9000)
+
+    def test_listener_instance_cc_rejected(self):
+        pair = make_pair()
+        with pytest.raises(ConfigurationError):
+            pair.proto_b.listen(9000, cc=VegasCC())
+
+    def test_each_accept_gets_fresh_cc(self):
+        pair = make_pair()
+        accepted = []
+        pair.proto_b.listen(9000, cc=VegasCC, on_accept=accepted.append)
+        pair.proto_a.connect("B", 9000)
+        pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=3.0)
+        assert len(accepted) == 2
+        assert accepted[0].cc is not accepted[1].cc
+
+    def test_listener_counts_accepts(self):
+        pair = make_pair()
+        listener = pair.proto_b.listen(9000)
+        pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=2.0)
+        assert listener.accepted == 1
+
+
+class TestDemux:
+    def test_concurrent_connections_stay_separate(self):
+        pair = make_pair(queue_capacity=30)
+        from repro.apps.bulk import BulkSink, BulkTransfer
+
+        BulkSink(pair.proto_b, 9000)
+        BulkSink(pair.proto_b, 9001)
+        t1 = BulkTransfer(pair.proto_a, "B", 9000, 50 * 1024)
+        t2 = BulkTransfer(pair.proto_a, "B", 9001, 30 * 1024)
+        pair.sim.run(until=60.0)
+        assert t1.done and t2.done
+        assert t1.conn.stats.app_bytes_acked == 50 * 1024
+        assert t2.conn.stats.app_bytes_acked == 30 * 1024
+
+    def test_non_tcp_payload_dropped(self):
+        from repro.net.packet import Packet
+
+        pair = make_pair()
+        pair.b.receive(Packet("A", "B", payload="garbage", size=100))
+        assert pair.proto_b.segments_dropped == 1
+
+
+class TestTimerLifecycle:
+    def test_timers_idle_before_first_connection(self):
+        pair = make_pair()
+        assert pair.sim.pending_events == 0
+
+    def test_timers_stop_after_all_connections_close(self):
+        pair = make_pair()
+        run_transfer(pair, 4096, until=60.0)
+        assert pair.sim.pending_events == 0
+
+    def test_timers_keep_running_with_open_connection(self):
+        pair = make_pair()
+        pair.proto_b.listen(9000)
+        pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=5.0)
+        assert pair.sim.pending_events > 0  # slow/fast timers live

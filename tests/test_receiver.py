@@ -1,0 +1,86 @@
+"""Tests for receiver-side ACK policy."""
+
+from repro.tcp.receiver import AckAction, ReceiverHalf
+from repro.tcp.segment import FLAG_ACK, TCPSegment
+
+
+def data_seg(seq, length):
+    return TCPSegment(1, 2, seq=seq, length=length, flags=FLAG_ACK)
+
+
+class TestDelayedAcks:
+    def test_first_segment_delays(self):
+        recv = ReceiverHalf(50 * 1024)
+        delivered, action = recv.process_data(data_seg(0, 1024))
+        assert delivered == 1024
+        assert action == AckAction.DELAY
+        assert recv.delack_pending
+
+    def test_second_segment_acks_now(self):
+        recv = ReceiverHalf(50 * 1024)
+        recv.process_data(data_seg(0, 1024))
+        delivered, action = recv.process_data(data_seg(1024, 1024))
+        assert action == AckAction.NOW
+
+    def test_ack_sent_clears_pending(self):
+        recv = ReceiverHalf(50 * 1024)
+        recv.process_data(data_seg(0, 1024))
+        recv.ack_sent()
+        assert not recv.delack_pending
+        _, action = recv.process_data(data_seg(1024, 1024))
+        assert action == AckAction.DELAY
+
+    def test_delayed_acks_disabled_acks_every_segment(self):
+        recv = ReceiverHalf(50 * 1024, delayed_acks=False)
+        _, action = recv.process_data(data_seg(0, 1024))
+        assert action == AckAction.NOW
+
+
+class TestDuplicateAcks:
+    def test_out_of_order_acks_immediately(self):
+        recv = ReceiverHalf(50 * 1024)
+        _, action = recv.process_data(data_seg(2048, 1024))
+        assert action == AckAction.NOW
+        assert recv.rcv_nxt == 0
+        assert recv.out_of_order_segments == 1
+
+    def test_old_duplicate_reacked(self):
+        recv = ReceiverHalf(50 * 1024)
+        recv.process_data(data_seg(0, 1024))
+        _, action = recv.process_data(data_seg(0, 1024))
+        assert action == AckAction.NOW
+        assert recv.duplicate_segments == 1
+
+    def test_hole_fill_acks_immediately(self):
+        recv = ReceiverHalf(50 * 1024)
+        recv.process_data(data_seg(1024, 1024))  # hole at 0
+        delivered, action = recv.process_data(data_seg(0, 1024))
+        assert delivered == 2048
+        assert action == AckAction.NOW
+
+    def test_pure_ack_needs_no_response(self):
+        recv = ReceiverHalf(50 * 1024)
+        seg = TCPSegment(1, 2, seq=0, length=0, ack=10, flags=FLAG_ACK)
+        delivered, action = recv.process_data(seg)
+        assert delivered == 0
+        assert action == AckAction.NONE
+
+
+class TestAdvertisedWindow:
+    def test_window_is_buffer_size(self):
+        recv = ReceiverHalf(50 * 1024)
+        assert recv.rcv_wnd == 50 * 1024
+
+    def test_window_constant_under_out_of_order_data(self):
+        """BSD behaviour: the reassembly queue is not charged, so dup
+        ACKs carry an unchanged window (required for fast retransmit)."""
+        recv = ReceiverHalf(50 * 1024)
+        before = recv.rcv_wnd
+        recv.process_data(data_seg(8192, 1024))
+        assert recv.rcv_wnd == before
+
+    def test_bytes_delivered_accumulates(self):
+        recv = ReceiverHalf(50 * 1024)
+        recv.process_data(data_seg(0, 1000))
+        recv.process_data(data_seg(1000, 500))
+        assert recv.bytes_delivered == 1500

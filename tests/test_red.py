@@ -1,0 +1,111 @@
+"""Tests for the RED queueing discipline."""
+
+import random
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.net.red import REDQueue
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.units import kbps, ms
+
+
+class P:
+    size = 1000
+
+
+class TestREDQueue:
+    def _queue(self, **kwargs):
+        defaults = dict(capacity=20, rng=random.Random(1),
+                        min_th=3, max_th=9, max_p=0.1, weight=0.5)
+        defaults.update(kwargs)
+        return REDQueue(**defaults)
+
+    def test_no_drops_below_min_threshold(self):
+        queue = self._queue()
+        for i in range(3):
+            assert queue.offer(P(), float(i) * 0.001)
+        assert queue.dropped == 0
+
+    def test_forced_drops_above_max_threshold(self):
+        queue = self._queue(weight=1.0)  # avg == instantaneous
+        accepted = sum(queue.offer(P(), 0.001 * i) for i in range(30))
+        # Once the average passes max_th (9), everything drops.
+        assert queue.early_drops + queue.forced_drops > 0
+        assert accepted <= 11
+
+    def test_probabilistic_region_drops_some(self):
+        queue = self._queue(weight=1.0, max_p=0.5)
+        outcomes = []
+        # Hold the queue between thresholds by draining as we fill.
+        for i in range(200):
+            outcomes.append(queue.offer(P(), 0.001 * i))
+            if len(queue) > 6:
+                queue.poll(0.001 * i)
+        assert any(outcomes) and not all(outcomes)
+        assert 0 < queue.early_drops < 200
+
+    def test_idle_period_decays_average(self):
+        queue = self._queue(weight=0.5, mean_packet_time=0.01)
+        for i in range(8):
+            queue.offer(P(), 0.001 * i)
+        avg_loaded = queue.avg
+        while queue.poll(0.01) is not None:
+            pass
+        queue.offer(P(), 10.0)  # long idle gap
+        assert queue.avg < avg_loaded
+
+    def test_parameter_validation(self):
+        with pytest.raises(ConfigurationError):
+            self._queue(min_th=5, max_th=5)
+        with pytest.raises(ConfigurationError):
+            self._queue(max_p=0.0)
+        with pytest.raises(ConfigurationError):
+            self._queue(weight=0.0)
+
+    def test_drop_accounting_consistent(self):
+        queue = self._queue(weight=1.0)
+        for i in range(50):
+            queue.offer(P(), 0.001 * i)
+        assert queue.dropped == queue.early_drops + queue.forced_drops
+        assert queue.dropped_bytes == queue.dropped * 1000
+        assert len(queue.drops) == queue.dropped
+
+
+class TestREDOnLink:
+    def test_red_link_keeps_average_queue_short(self):
+        """Reno over RED holds a shorter average queue than over
+        drop-tail — the router-side analogue of what Vegas does
+        end-to-end."""
+        from repro.apps.bulk import BulkSink, BulkTransfer
+        from repro.tcp.protocol import TCPProtocol
+
+        def run(queue_factory):
+            sim = Simulator()
+            topo = Topology(sim)
+            a, b = topo.add_host("A"), topo.add_host("B")
+            r1, r2 = topo.add_router("R1"), topo.add_router("R2")
+            topo.add_lan([a, r1])
+            topo.add_lan([r2, b])
+            link = topo.add_link(r1, r2, bandwidth=kbps(200), delay=ms(50),
+                                 queue_capacity=10,
+                                 queue_factory=queue_factory)
+            topo.build_routes()
+            pa, pb = TCPProtocol(a), TCPProtocol(b)
+            BulkSink(pb, 9000)
+            transfer = BulkTransfer(pa, "B", 9000, 512 * 1024)
+            from repro.trace.tracer import RouterTracer
+
+            tracer = RouterTracer(link.channel_from(r1).queue)
+            sim.run(until=120.0)
+            assert transfer.done
+            return tracer.mean_depth(1.0), transfer
+
+        rng = random.Random(7)
+        droptail_depth, _ = run(None)
+        red_depth, red_transfer = run(
+            lambda name: REDQueue(10, rng, min_th=2, max_th=8,
+                                  max_p=0.1, weight=0.02, name=name))
+        assert red_depth < droptail_depth
+        assert red_transfer.done

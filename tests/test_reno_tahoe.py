@@ -1,0 +1,151 @@
+"""Unit tests for Reno and Tahoe congestion-control policy."""
+
+from repro.core.base import CongestionControl
+from repro.core.reno import RenoCC
+from repro.core.tahoe import TahoeCC
+from repro.tcp import constants as C
+
+from fakes import FakeConnection
+
+
+def attached(cc_cls, **kwargs):
+    conn = FakeConnection()
+    cc = cc_cls(**kwargs) if isinstance(cc_cls, type) else cc_cls
+    cc.attach(conn)
+    return conn, cc
+
+
+class TestBaseCC:
+    def test_fixed_window_never_moves(self):
+        conn, cc = attached(CongestionControl)
+        start = cc.cwnd
+        conn.send(cc)
+        conn.ack(cc)
+        cc.on_dup_ack(3, 0.0)
+        cc.on_coarse_timeout(0.0)
+        assert cc.cwnd == start
+
+    def test_initial_window_parameter(self):
+        conn = FakeConnection()
+        cc = CongestionControl(initial_cwnd_segments=4)
+        cc.attach(conn)
+        assert cc.cwnd == 4 * conn.mss
+
+    def test_half_window_floors_at_two_segments(self):
+        conn, cc = attached(RenoCC)
+        cc.cwnd = conn.mss  # tiny window
+        assert cc.half_window() == 2 * conn.mss
+
+    def test_half_window_uses_min_of_cwnd_and_peer(self):
+        conn, cc = attached(RenoCC)
+        cc.cwnd = 40 * conn.mss
+        conn.peer_wnd = 10 * conn.mss
+        assert cc.half_window() == 5 * conn.mss
+
+
+class TestRenoSlowStart:
+    def test_exponential_per_ack_growth(self):
+        conn, cc = attached(RenoCC)
+        assert cc.cwnd == conn.mss
+        for _ in range(4):
+            conn.send(cc)
+            conn.ack(cc)
+        assert cc.cwnd == 5 * conn.mss
+
+    def test_congestion_avoidance_growth_is_per_window(self):
+        conn, cc = attached(RenoCC)
+        cc.ssthresh = 4 * conn.mss
+        cc.cwnd = 4 * conn.mss
+        # Four ACKs (one window) should add roughly one segment total.
+        for _ in range(4):
+            conn.send(cc)
+            conn.ack(cc)
+        assert 4 * conn.mss < cc.cwnd <= 5 * conn.mss + 4
+
+
+class TestRenoFastRecovery:
+    def _enter_recovery(self, conn, cc):
+        for _ in range(10):
+            conn.send(cc)
+        cc.cwnd = 10 * conn.mss
+        conn.first_unacked_ts = 0.0
+        for count in (1, 2, 3):
+            cc.on_dup_ack(count, 1.0)
+
+    def test_third_dupack_triggers_retransmit(self):
+        conn, cc = attached(RenoCC)
+        self._enter_recovery(conn, cc)
+        assert conn.retransmissions == ["fast"]
+        assert cc.in_recovery
+
+    def test_window_halves_plus_inflation(self):
+        conn, cc = attached(RenoCC)
+        self._enter_recovery(conn, cc)
+        assert cc.ssthresh == 5 * conn.mss
+        assert cc.cwnd == 5 * conn.mss + 3 * conn.mss
+
+    def test_further_dupacks_inflate(self):
+        conn, cc = attached(RenoCC)
+        self._enter_recovery(conn, cc)
+        cc.on_dup_ack(4, 1.1)
+        cc.on_dup_ack(5, 1.2)
+        assert cc.cwnd == 5 * conn.mss + 5 * conn.mss
+
+    def test_recovery_ack_deflates_to_ssthresh(self):
+        conn, cc = attached(RenoCC)
+        self._enter_recovery(conn, cc)
+        conn.ack(cc, 10 * conn.mss)
+        assert not cc.in_recovery
+        assert cc.cwnd == cc.ssthresh
+
+    def test_only_one_retransmit_per_event(self):
+        conn, cc = attached(RenoCC)
+        self._enter_recovery(conn, cc)
+        cc.on_dup_ack(4, 1.1)
+        assert conn.retransmissions == ["fast"]
+
+
+class TestRenoTimeout:
+    def test_timeout_resets_to_one_segment(self):
+        conn, cc = attached(RenoCC)
+        cc.cwnd = 20 * conn.mss
+        conn.snd_nxt = 20 * conn.mss
+        cc.on_coarse_timeout(5.0)
+        assert cc.cwnd == conn.mss
+        assert cc.ssthresh == 10 * conn.mss
+        assert not cc.in_recovery
+
+
+class TestTahoe:
+    def test_no_fast_recovery(self):
+        conn, cc = attached(TahoeCC)
+        cc.cwnd = 10 * conn.mss
+        conn.snd_nxt = 10 * conn.mss
+        conn.first_unacked_ts = 0.0
+        for count in (1, 2, 3):
+            cc.on_dup_ack(count, 1.0)
+        assert conn.retransmissions == ["fast"]
+        assert cc.cwnd == conn.mss  # back to slow start, no inflation
+        assert cc.ssthresh == 5 * conn.mss
+
+    def test_slow_start_growth(self):
+        conn, cc = attached(TahoeCC)
+        for _ in range(3):
+            conn.send(cc)
+            conn.ack(cc)
+        assert cc.cwnd == 4 * conn.mss
+
+    def test_timeout_same_as_reno(self):
+        conn, cc = attached(TahoeCC)
+        cc.cwnd = 8 * conn.mss
+        conn.snd_nxt = 8 * conn.mss
+        cc.on_coarse_timeout(1.0)
+        assert cc.cwnd == conn.mss
+        assert cc.ssthresh == 4 * conn.mss
+
+    def test_cwnd_capped(self):
+        conn, cc = attached(TahoeCC)
+        cc.cwnd = C.MAX_CWND
+        conn.send(cc)
+        conn.ack(cc)
+        assert cc.cwnd <= C.MAX_CWND

@@ -1,0 +1,135 @@
+"""Tests for RNG streams, distributions, and unit helpers."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.sim.rng import (
+    RngRegistry,
+    bounded_geometric,
+    empirical,
+    exponential,
+    lognormal_bytes,
+    weighted_choice,
+)
+from repro import units
+
+
+class TestRngRegistry:
+    def test_same_name_same_stream_object(self):
+        reg = RngRegistry(42)
+        assert reg.stream("x") is reg.stream("x")
+
+    def test_same_seed_reproducible(self):
+        a = RngRegistry(7).stream("traffic")
+        b = RngRegistry(7).stream("traffic")
+        assert [a.random() for _ in range(10)] == [b.random() for _ in range(10)]
+
+    def test_different_names_are_decorrelated(self):
+        reg = RngRegistry(7)
+        xs = [reg.stream("one").random() for _ in range(5)]
+        ys = [reg.stream("two").random() for _ in range(5)]
+        assert xs != ys
+
+    def test_adjacent_seeds_differ(self):
+        a = RngRegistry(1).stream("s").random()
+        b = RngRegistry(2).stream("s").random()
+        assert a != b
+
+    def test_spawn_is_independent_and_deterministic(self):
+        child1 = RngRegistry(9).spawn("w").stream("s")
+        child2 = RngRegistry(9).spawn("w").stream("s")
+        parent = RngRegistry(9).stream("s")
+        assert child1.random() == child2.random()
+        assert RngRegistry(9).spawn("w").stream("s").random() != parent.random()
+
+
+class TestDistributions:
+    def test_exponential_mean(self):
+        rng = RngRegistry(1).stream("e")
+        xs = [exponential(rng, 2.0) for _ in range(20000)]
+        assert sum(xs) / len(xs) == pytest.approx(2.0, rel=0.05)
+
+    def test_exponential_rejects_bad_mean(self):
+        rng = RngRegistry(1).stream("e")
+        with pytest.raises(ValueError):
+            exponential(rng, 0.0)
+
+    def test_lognormal_median_and_clamps(self):
+        rng = RngRegistry(2).stream("l")
+        xs = sorted(lognormal_bytes(rng, median=10000, sigma=1.0)
+                    for _ in range(4001))
+        median = xs[len(xs) // 2]
+        assert 8000 < median < 12500
+        assert all(x >= 1 for x in xs)
+
+    def test_lognormal_respects_bounds(self):
+        rng = RngRegistry(3).stream("l")
+        xs = [lognormal_bytes(rng, median=1000, sigma=2.0,
+                              minimum=500, maximum=2000) for _ in range(500)]
+        assert min(xs) >= 500 and max(xs) <= 2000
+
+    def test_bounded_geometric_mean_and_bounds(self):
+        rng = RngRegistry(4).stream("g")
+        xs = [bounded_geometric(rng, mean=5.0, minimum=1, maximum=100)
+              for _ in range(20000)]
+        assert 4.5 < sum(xs) / len(xs) < 5.5
+        assert min(xs) >= 1 and max(xs) <= 100
+
+    def test_bounded_geometric_degenerate_mean(self):
+        rng = RngRegistry(4).stream("g")
+        assert bounded_geometric(rng, mean=0.5, minimum=2) == 2
+
+    def test_empirical_interpolates(self):
+        rng = RngRegistry(5).stream("emp")
+        table = [(0.5, 10.0), (1.0, 20.0)]
+        xs = [empirical(rng, table) for _ in range(2000)]
+        # Below the first cumulative point the draw floors at the first
+        # value; above it, values interpolate linearly up to the last.
+        assert all(10.0 <= x <= 20.0 for x in xs)
+        assert any(x == 10.0 for x in xs)
+        assert any(x > 15.0 for x in xs)
+
+    def test_empirical_empty_rejected(self):
+        rng = RngRegistry(5).stream("emp")
+        with pytest.raises(ValueError):
+            empirical(rng, [])
+
+    def test_weighted_choice_proportions(self):
+        rng = RngRegistry(6).stream("w")
+        weights = {"a": 3.0, "b": 1.0}
+        picks = [weighted_choice(rng, weights) for _ in range(8000)]
+        frac_a = picks.count("a") / len(picks)
+        assert 0.70 < frac_a < 0.80
+
+    def test_weighted_choice_rejects_nonpositive(self):
+        rng = RngRegistry(6).stream("w")
+        with pytest.raises(ValueError):
+            weighted_choice(rng, {"a": 0.0})
+
+    @given(st.integers(min_value=0, max_value=2**32))
+    def test_registry_streams_always_in_unit_interval(self, seed):
+        value = RngRegistry(seed).stream("any").random()
+        assert 0.0 <= value < 1.0
+
+
+class TestUnits:
+    def test_kb_mb(self):
+        assert units.kb(1) == 1024
+        assert units.mb(1) == 1024 * 1024
+        assert units.kb(1.5) == 1536
+
+    def test_rates(self):
+        assert units.kbps(200) == 200 * 1024
+        assert units.mbps(8) == 1e6  # 8 Mb/s == 1e6 bytes/s
+
+    def test_ms(self):
+        assert units.ms(50) == pytest.approx(0.05)
+
+    def test_rate_kbps(self):
+        assert units.rate_kbps(1024 * 100, 10.0) == pytest.approx(10.0)
+        assert units.rate_kbps(100, 0.0) == 0.0
+
+    def test_bytes_to_kb(self):
+        assert units.bytes_to_kb(2048) == 2.0

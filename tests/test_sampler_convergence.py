@@ -1,0 +1,84 @@
+"""Tests for the rate sampler and the convergence experiments."""
+
+import pytest
+
+from repro.errors import ConfigurationError
+from repro.experiments.convergence import run_join_scenario, run_leave_scenario
+from repro.metrics.sampler import RateSampler
+from repro.sim.engine import Simulator
+
+
+class TestRateSampler:
+    def test_constant_rate_measured(self):
+        sim = Simulator()
+        state = {"bytes": 0.0}
+
+        def feed():
+            state["bytes"] += 100.0
+            if sim.now < 10.0:
+                sim.schedule(0.1, feed)
+
+        sampler = RateSampler(sim, lambda: state["bytes"], interval=0.1)
+        sampler.start()
+        sim.schedule(0.0, feed)
+        sim.run(until=5.0)
+        sampler.stop()
+        assert sampler.mean_rate(1.0) == pytest.approx(1000.0, rel=0.05)
+
+    def test_no_samples_before_two_ticks(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: 0.0, interval=1.0)
+        sampler.start()
+        sim.run(until=0.5)
+        assert sampler.samples == []
+
+    def test_running_average_smooths(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: 0.0)
+        sampler.samples = [(0.1, 0.0), (0.2, 300.0), (0.3, 0.0)]
+        smooth = sampler.running_average(window=3)
+        assert smooth[-1][1] == pytest.approx(100.0)
+
+    def test_stop_halts_sampling(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: sim.now * 100, interval=0.1)
+        sampler.start()
+        sim.run(until=1.0)
+        count = len(sampler.samples)
+        sampler.stop()
+        sim.run(until=2.0)
+        assert len(sampler.samples) == count
+
+    def test_parameter_validation(self):
+        sim = Simulator()
+        with pytest.raises(ConfigurationError):
+            RateSampler(sim, lambda: 0.0, interval=0.0)
+        with pytest.raises(ConfigurationError):
+            RateSampler(sim, lambda: 0.0).running_average(0)
+
+    def test_mean_rate_empty_window(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: 0.0)
+        assert sampler.mean_rate(5.0, 6.0) == 0.0
+
+
+class TestConvergence:
+    def test_vegas_shares_more_equally_on_join(self):
+        reno = run_join_scenario("reno", seed=0)
+        vegas = run_join_scenario("vegas", seed=0)
+        assert vegas.share_balance > reno.share_balance
+        # Both flows make real progress while sharing.
+        assert vegas.shared_rate_a > 30 and vegas.shared_rate_b > 30
+
+    def test_vegas_absorbs_freed_bandwidth_quickly(self):
+        vegas = run_leave_scenario("vegas", seed=0)
+        # Within 3 s of the leaver finishing, the survivor has ramped
+        # well past its shared rate...
+        assert vegas.takeover_rate > 1.3 * vegas.shared_rate
+        # ...and settles near the full link.
+        assert vegas.settled_rate > 150.0
+
+    def test_vegas_takeover_beats_reno(self):
+        reno = run_leave_scenario("reno", seed=0)
+        vegas = run_leave_scenario("vegas", seed=0)
+        assert vegas.takeover_rate > reno.takeover_rate

@@ -1,0 +1,175 @@
+"""Tests for the discrete-event engine."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.errors import SimulationError
+from repro.sim.engine import Simulator
+
+
+class TestScheduling:
+    def test_events_fire_in_time_order(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, lambda: fired.append("b"))
+        sim.schedule(1.0, lambda: fired.append("a"))
+        sim.schedule(3.0, lambda: fired.append("c"))
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_ties_break_by_insertion_order(self):
+        sim = Simulator()
+        fired = []
+        for tag in range(5):
+            sim.schedule(1.0, fired.append, tag)
+        sim.run()
+        assert fired == [0, 1, 2, 3, 4]
+
+    def test_clock_advances_to_event_time(self):
+        sim = Simulator()
+        seen = []
+        sim.schedule(1.5, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [1.5]
+        assert sim.now == 1.5
+
+    def test_schedule_in_past_rejected(self):
+        sim = Simulator()
+        with pytest.raises(SimulationError):
+            sim.schedule(-0.1, lambda: None)
+
+    def test_schedule_at_before_now_rejected(self):
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(SimulationError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_args_are_passed(self):
+        sim = Simulator()
+        got = []
+        sim.schedule(0.0, lambda x, y: got.append((x, y)), 1, "two")
+        sim.run()
+        assert got == [(1, "two")]
+
+    def test_events_scheduled_during_run_fire(self):
+        sim = Simulator()
+        fired = []
+
+        def chain(n):
+            fired.append(n)
+            if n < 3:
+                sim.schedule(1.0, chain, n + 1)
+
+        sim.schedule(0.0, chain, 0)
+        sim.run()
+        assert fired == [0, 1, 2, 3]
+        assert sim.now == 3.0
+
+
+class TestCancellation:
+    def test_cancelled_event_does_not_fire(self):
+        sim = Simulator()
+        fired = []
+        event = sim.schedule(1.0, lambda: fired.append(1))
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_cancel_via_simulator_accepts_none(self):
+        sim = Simulator()
+        sim.cancel(None)  # no-op, no exception
+
+    def test_cancel_one_of_many(self):
+        sim = Simulator()
+        fired = []
+        keep = sim.schedule(1.0, lambda: fired.append("keep"))
+        drop = sim.schedule(1.0, lambda: fired.append("drop"))
+        sim.cancel(drop)
+        sim.run()
+        assert fired == ["keep"]
+        assert keep.time == 1.0
+
+
+class TestRunBounds:
+    def test_until_is_inclusive(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(5.0, lambda: fired.append("edge"))
+        sim.run(until=5.0)
+        assert fired == ["edge"]
+
+    def test_until_leaves_later_events_pending(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(1.0, lambda: fired.append(1))
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        assert fired == [1]
+        assert sim.pending_events == 1
+        assert sim.now == 5.0  # clock advanced to the horizon
+
+    def test_resume_after_horizon(self):
+        sim = Simulator()
+        fired = []
+        sim.schedule(10.0, lambda: fired.append(10))
+        sim.run(until=5.0)
+        sim.run(until=15.0)
+        assert fired == [10]
+
+    def test_max_events_bound(self):
+        sim = Simulator()
+        fired = []
+        for i in range(10):
+            sim.schedule(float(i), fired.append, i)
+        processed = sim.run(max_events=3)
+        assert processed == 3
+        assert fired == [0, 1, 2]
+
+    def test_run_returns_processed_count(self):
+        sim = Simulator()
+        for i in range(4):
+            sim.schedule(float(i), lambda: None)
+        assert sim.run() == 4
+        assert sim.events_processed == 4
+
+    def test_run_is_not_reentrant(self):
+        sim = Simulator()
+
+        def reenter():
+            with pytest.raises(SimulationError):
+                sim.run()
+
+        sim.schedule(0.0, reenter)
+        sim.run()
+
+
+class TestPropertyBased:
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6,
+                              allow_nan=False), min_size=1, max_size=200))
+    def test_execution_times_are_sorted(self, delays):
+        """Whatever the schedule order, execution is time-sorted."""
+        sim = Simulator()
+        seen = []
+        for d in delays:
+            sim.schedule(d, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == sorted(seen)
+        assert len(seen) == len(delays)
+
+    @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1000,
+                                        allow_nan=False),
+                              st.booleans()),
+                    min_size=1, max_size=100))
+    def test_cancelled_subset_never_fires(self, items):
+        sim = Simulator()
+        fired = []
+        events = []
+        for i, (delay, cancel) in enumerate(items):
+            events.append((sim.schedule(delay, fired.append, i), cancel))
+        for event, cancel in events:
+            if cancel:
+                event.cancel()
+        sim.run()
+        expected = {i for i, (_, cancel) in enumerate(items) if not cancel}
+        assert set(fired) == expected

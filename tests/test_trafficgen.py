@@ -1,0 +1,168 @@
+"""Tests for the tcplib-style TRAFFIC workload generator."""
+
+import random
+
+import pytest
+
+from repro.core.reno import RenoCC
+from repro.sim.rng import RngRegistry
+from repro.trafficgen import distributions as D
+from repro.trafficgen.conversations import (
+    FtpConversation,
+    NntpConversation,
+    SmtpConversation,
+    TelnetConversation,
+)
+from repro.trafficgen.traffic import TrafficGenerator, TrafficServer
+
+from helpers import make_pair
+
+
+def wire_traffic(pair, seed=1, arrival_mean=0.3, **kwargs):
+    rng = random.Random(seed)
+    server = TrafficServer(pair.proto_b, rng, RenoCC)
+    generator = TrafficGenerator(pair.proto_a, "B", rng, RenoCC,
+                                 arrival_mean=arrival_mean, **kwargs)
+    return server, generator
+
+
+class TestDistributions:
+    def test_telnet_params_in_range(self):
+        rng = RngRegistry(1).stream("t")
+        for _ in range(200):
+            p = D.draw_telnet(rng)
+            assert 3 <= p.keystrokes <= 400
+            assert p.think_mean > 0.2
+
+    def test_ftp_params_match_paper_shape(self):
+        """The paper: FTP expects number of items, control segment
+        size, and the item sizes."""
+        rng = RngRegistry(2).stream("f")
+        for _ in range(200):
+            p = D.draw_ftp(rng)
+            assert 1 <= p.items <= 20
+            assert len(p.item_sizes) == p.items
+            assert 32 <= p.control_segment_size < 96
+            assert all(256 <= s <= 1024 * 1024 for s in p.item_sizes)
+
+    def test_smtp_sizes(self):
+        rng = RngRegistry(3).stream("s")
+        sizes = [D.draw_smtp(rng).message_size for _ in range(200)]
+        assert all(128 <= s <= 256 * 1024 for s in sizes)
+
+    def test_nntp_articles(self):
+        rng = RngRegistry(4).stream("n")
+        for _ in range(100):
+            p = D.draw_nntp(rng)
+            assert len(p.article_sizes) == p.articles
+
+    def test_mix_covers_four_types(self):
+        assert set(D.DEFAULT_MIX) == {"telnet", "ftp", "smtp", "nntp"}
+        assert abs(sum(D.DEFAULT_MIX.values()) - 1.0) < 1e-9
+
+
+class TestConversations:
+    def test_smtp_runs_to_completion(self):
+        pair = make_pair(queue_capacity=30)
+        rng = random.Random(7)
+        TrafficServer(pair.proto_b, rng, RenoCC)
+        conv = SmtpConversation(pair.proto_a, "B", rng, RenoCC)
+        conv.start()
+        pair.sim.run(until=120.0)
+        assert conv.finished
+        assert conv.duration > 0
+        assert conv.bytes_offered == conv.params.message_size
+
+    def test_telnet_measures_response_times(self):
+        pair = make_pair(queue_capacity=30)
+        rng = random.Random(8)
+        TrafficServer(pair.proto_b, rng, RenoCC)
+        conv = TelnetConversation(pair.proto_a, "B", rng, RenoCC)
+        conv.start()
+        pair.sim.run(until=600.0)
+        assert conv.finished
+        assert len(conv.response_times) > 0
+        # Response includes at least one bottleneck round trip (100 ms).
+        assert min(conv.response_times) > 0.1
+
+    def test_ftp_transfers_every_item(self):
+        pair = make_pair(queue_capacity=30)
+        rng = random.Random(9)
+        TrafficServer(pair.proto_b, rng, RenoCC)
+        conv = FtpConversation(pair.proto_a, "B", rng, RenoCC)
+        conv.start()
+        pair.sim.run(until=600.0)
+        assert conv.finished
+        # Control connection + one data connection per item.
+        assert len(conv.connections) == 1 + conv.params.items
+        data_bytes = sum(c.stats.app_bytes_acked for c in conv.connections[1:])
+        assert data_bytes == sum(conv.params.item_sizes)
+
+    def test_nntp_pushes_all_articles(self):
+        pair = make_pair(queue_capacity=30)
+        rng = random.Random(10)
+        TrafficServer(pair.proto_b, rng, RenoCC)
+        conv = NntpConversation(pair.proto_a, "B", rng, RenoCC)
+        conv.start()
+        pair.sim.run(until=600.0)
+        assert conv.finished
+        assert conv.connections[0].stats.app_bytes_acked == \
+            sum(conv.params.article_sizes)
+
+
+class TestGenerator:
+    def test_conversations_launch_over_time(self):
+        pair = make_pair(queue_capacity=30)
+        server, generator = wire_traffic(pair, arrival_mean=0.5)
+        generator.start(0.0)
+        pair.sim.run(until=20.0)
+        generator.stop()
+        assert len(generator.conversations) >= 10
+        assert sum(generator.started_by_type.values()) == \
+            len(generator.conversations)
+
+    def test_deterministic_given_seed(self):
+        counts = []
+        for _ in range(2):
+            pair = make_pair(queue_capacity=30)
+            server, generator = wire_traffic(pair, seed=42)
+            generator.start(0.0)
+            pair.sim.run(until=15.0)
+            generator.stop()
+            counts.append(dict(generator.started_by_type))
+        assert counts[0] == counts[1]
+
+    def test_stop_at_limit(self):
+        pair = make_pair(queue_capacity=30)
+        server, generator = wire_traffic(pair, stop_at=5.0)
+        generator.start(0.0)
+        pair.sim.run(until=30.0)
+        started_times = [c.started_at for c in generator.conversations]
+        assert all(t <= 5.5 for t in started_times)
+
+    def test_max_conversations_cap(self):
+        pair = make_pair(queue_capacity=30)
+        server, generator = wire_traffic(pair, max_conversations=5)
+        generator.start(0.0)
+        pair.sim.run(until=60.0)
+        assert len(generator.conversations) <= 5
+
+    def test_throughput_and_retransmit_accounting(self):
+        pair = make_pair(queue_capacity=30)
+        server, generator = wire_traffic(pair, arrival_mean=0.4)
+        generator.start(0.0)
+        pair.sim.run(until=30.0)
+        generator.stop()
+        assert generator.total_bytes_acked() > 0
+        assert generator.throughput_kbps(0.0, 30.0) > 0
+        assert generator.total_retransmitted_kb() >= 0.0
+
+    def test_custom_mix_respected(self):
+        pair = make_pair(queue_capacity=30)
+        server, generator = wire_traffic(pair, arrival_mean=0.2,
+                                         mix={"smtp": 1.0})
+        generator.start(0.0)
+        pair.sim.run(until=20.0)
+        generator.stop()
+        assert generator.started_by_type["smtp"] == len(generator.conversations)
+        assert generator.started_by_type["smtp"] > 0

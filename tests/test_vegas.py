@@ -1,0 +1,364 @@
+"""Unit tests for the Vegas congestion-control policy (§3 techniques)."""
+
+import pytest
+
+from repro.core.vegas import LINEAR, SLOW_START, VegasCC
+from repro.trace.records import Kind
+
+from fakes import FakeConnection
+
+
+def attached(**kwargs):
+    conn = FakeConnection()
+    cc = VegasCC(**kwargs)
+    cc.attach(conn)
+    return conn, cc
+
+
+def settle_fine_rto(conn, value=0.1):
+    """Seed the fine estimator so rto ≈ value + 4*(value/2)."""
+    conn.fine_rtt.update(value)
+
+
+class TestConstruction:
+    def test_requires_alpha_below_beta(self):
+        with pytest.raises(ValueError):
+            VegasCC(alpha=3, beta=3)
+
+    def test_starts_in_slow_start(self):
+        conn, cc = attached()
+        assert cc.mode == SLOW_START
+        assert cc.ss_grow
+
+    def test_threshold_variants(self):
+        cc13 = VegasCC(alpha=1, beta=3)
+        cc24 = VegasCC(alpha=2, beta=4)
+        assert (cc13.alpha, cc13.beta) == (1, 3)
+        assert (cc24.alpha, cc24.beta) == (2, 4)
+
+
+class TestFineRetransmit:
+    """Technique 1 (§3.1): check-on-duplicate-ACK retransmission."""
+
+    def test_stale_segment_retransmitted_on_first_dupack(self):
+        conn, cc = attached()
+        settle_fine_rto(conn)  # rto = 0.3
+        cc.cwnd = 8 * conn.mss
+        conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5  # older than the fine RTO
+        cc.on_dup_ack(1, conn.now)
+        assert conn.retransmissions == ["fine-dupack"]
+        assert cc.early_retransmits == 1
+
+    def test_fresh_segment_not_retransmitted(self):
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.1  # younger than the RTO
+        cc.on_dup_ack(1, conn.now)
+        assert conn.retransmissions == []
+
+    def test_fine_loss_cuts_window_by_quarter(self):
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        cc.cwnd = 8 * conn.mss
+        conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5
+        cc.on_dup_ack(1, conn.now)
+        assert cc.cwnd == 6 * conn.mss  # 8 * 0.75
+
+    def test_epoch_guard_prevents_double_decrease(self):
+        """§3.1: only losses at the *current* rate decrease the window."""
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        cc.cwnd = 8 * conn.mss
+        conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5
+        cc.on_dup_ack(1, conn.now)      # decrease #1 at t=0.5
+        assert cc.cwnd == 6 * conn.mss
+        # A second loss whose segment was sent before the decrease.
+        conn.first_unacked_ts = 0.4     # sent before t=0.5
+        conn.now = 1.0
+        cc.on_dup_ack(1, conn.now)
+        assert conn.retransmissions == ["fine-dupack", "fine-dupack"]
+        assert cc.cwnd == 6 * conn.mss  # no second decrease
+
+    def test_decrease_allowed_for_fresh_epoch(self):
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        cc.cwnd = 8 * conn.mss
+        conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5
+        cc.on_dup_ack(1, conn.now)      # cwnd -> 6
+        conn.first_unacked_ts = 0.6     # sent after the decrease
+        conn.now = 1.0
+        cc.on_dup_ack(1, conn.now)
+        assert cc.cwnd == 4 * conn.mss  # 6 * 0.75 = 4.5 -> 4 (floored)
+
+    def test_post_retransmission_ack_check(self):
+        """§3.1 second bullet: first/second non-dup ACK re-checks."""
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        cc.cwnd = 8 * conn.mss
+        for _ in range(4):
+            conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5
+        cc.on_dup_ack(1, conn.now)  # retransmission arms the counter
+        assert cc.acks_after_retx == 2
+        # A new ACK arrives; the next unacked segment is also stale.
+        conn.snd_una += conn.mss
+        conn.first_unacked_ts = 0.05
+        conn.now = 0.6
+        cc.on_new_ack(conn.mss, conn.now, None)
+        assert "fine-ack" in conn.retransmissions
+
+    def test_ack_check_disarms_after_two(self):
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        for _ in range(6):
+            conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5
+        cc.on_dup_ack(1, conn.now)
+        conn.retransmissions.clear()
+        # Two fresh ACKs with a *young* first-unacked: no retransmits,
+        # and the counter drains to zero.
+        for _ in range(2):
+            conn.first_unacked_ts = conn.now - 0.01
+            conn.snd_una += conn.mss
+            cc.on_new_ack(conn.mss, conn.now, None)
+        assert cc.acks_after_retx == 0
+        assert conn.retransmissions == []
+
+    def test_disabled_fine_retransmit(self):
+        conn, cc = attached(enable_fine_retransmit=False)
+        settle_fine_rto(conn)
+        conn.send(cc)
+        conn.first_unacked_ts = 0.0
+        conn.now = 0.5
+        cc.on_dup_ack(1, conn.now)
+        assert conn.retransmissions == []
+
+
+class TestThreeDupAcks:
+    def test_standard_fast_retransmit_retained(self):
+        conn, cc = attached()
+        settle_fine_rto(conn)
+        cc.mode = LINEAR
+        cc.cwnd = 10 * conn.mss
+        for _ in range(10):
+            conn.send(cc)
+        conn.first_unacked_ts = conn.now = 0.1
+        conn.now = 0.2  # young segment: fine check stays quiet
+        for count in (1, 2, 3):
+            cc.on_dup_ack(count, conn.now)
+        assert conn.retransmissions == ["fast"]
+        assert cc.in_recovery
+        assert cc.cwnd == cc.ssthresh + 3 * conn.mss
+
+    def test_recovery_ack_deflates(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        cc.cwnd = 10 * conn.mss
+        for _ in range(10):
+            conn.send(cc)
+        conn.first_unacked_ts = 0.1
+        conn.now = 0.2
+        for count in (1, 2, 3):
+            cc.on_dup_ack(count, conn.now)
+        conn.ack(cc, 10 * conn.mss)
+        assert not cc.in_recovery
+        assert cc.cwnd == max(cc.ssthresh, 2 * conn.mss)
+
+
+class TestCoarseTimeout:
+    def test_falls_back_to_slow_start(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        cc.cwnd = 16 * conn.mss
+        conn.snd_nxt = 16 * conn.mss
+        cc.on_coarse_timeout(3.0)
+        assert cc.cwnd == conn.mss
+        assert cc.mode == SLOW_START
+        assert cc.ss_grow
+        assert cc.acks_after_retx == 0
+        assert cc.last_decrease_time == 3.0
+
+
+class TestCamLinearMode:
+    """Technique 2 (§3.2): the once-per-RTT Expected/Actual comparison."""
+
+    def test_increase_when_diff_below_alpha(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.send(cc)
+        conn.now = 0.1
+        conn.ack(cc, conn.mss, rtt=0.1)  # base == sample -> diff 0
+        assert cc.cwnd == 2 * conn.mss
+        assert cc.cam_increases == 1
+
+    def test_decrease_when_diff_above_beta(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.1)  # BaseRTT = 0.1
+        cc.cwnd = 10 * conn.mss
+        for _ in range(10):
+            conn.send(cc)
+        conn.now = 0.2
+        conn.ack(cc, conn.mss, rtt=0.2)  # diff = 10*(1-0.5) = 5 > beta
+        assert cc.cwnd == 9 * conn.mss
+        assert cc.cam_decreases == 1
+
+    def test_hold_inside_band(self):
+        conn, cc = attached(alpha=2, beta=4)
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.1)
+        cc.cwnd = 10 * conn.mss
+        for _ in range(10):
+            conn.send(cc)
+        conn.now = 0.143
+        conn.ack(cc, conn.mss, rtt=0.143)  # diff ≈ 10*(1-0.7) = 3
+        assert cc.cwnd == 10 * conn.mss
+        assert cc.cam_decisions == 1
+
+    def test_app_limited_measurement_skipped(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.1)
+        cc.cwnd = 10 * conn.mss
+        conn.send(cc)  # single segment: flight far below cwnd
+        conn.now = 0.3
+        conn.ack(cc, conn.mss, rtt=0.3)
+        assert cc.cwnd == 10 * conn.mss
+        assert cc.cam_decisions == 0
+
+    def test_invalid_measurement_skipped(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.1)
+        conn.send(cc)
+        cc.cwnd += conn.mss  # window changed during the measurement
+        conn.now = 0.3
+        conn.ack(cc, conn.mss, rtt=0.3)
+        assert cc.cam_decisions == 1  # measured, but no action taken
+        assert cc.cam_increases == 0 and cc.cam_decreases == 0
+
+    def test_retransmission_of_distinguished_segment_invalidates(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.1)
+        conn.send(cc)  # distinguished: [0, 1024)
+        conn.send(cc, is_retx=True)  # overlaps the distinguished segment
+        conn.now = 0.3
+        conn.ack(cc, conn.mss, rtt=0.3)
+        assert cc.cam_decisions == 0
+
+    def test_min_rtt_sample_used_not_last(self):
+        """A delayed-ACK-inflated sample must not drive a decrease."""
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.1)
+        cc.cwnd = 4 * conn.mss
+        for _ in range(4):
+            conn.send(cc)
+        conn.now = 0.1
+        conn.ack(cc, conn.mss, rtt=0.1)   # good sample (min)
+        # cwnd grew by 1 (diff 0); reset for a fresh epoch is implicit.
+        assert cc.cwnd == 5 * conn.mss
+
+    def test_cwnd_floor_two_segments(self):
+        conn, cc = attached(alpha=0.5, beta=1.0)
+        cc.mode = LINEAR
+        conn.fine_rtt.update(0.05)
+        cc.cwnd = 2 * conn.mss
+        for _ in range(2):
+            conn.send(cc)
+        conn.now = 0.5
+        conn.ack(cc, conn.mss, rtt=0.5)  # diff = 2*(1-0.1) = 1.8 > beta
+        assert cc.cam_decreases == 1
+        assert cc.cwnd == 2 * conn.mss  # floored at two segments
+
+    def test_cam_disabled_uses_reno_avoidance(self):
+        conn, cc = attached(enable_cam=False)
+        cc.mode = LINEAR
+        cc.cwnd = 4 * conn.mss
+        conn.send(cc)
+        conn.ack(cc, conn.mss, rtt=0.1)
+        # Reno-style: + mss*mss/cwnd per ACK.
+        assert cc.cwnd == 4 * conn.mss + conn.mss * conn.mss // (4 * conn.mss)
+
+    def test_cam_trace_records_emitted(self):
+        conn, cc = attached()
+        cc.mode = LINEAR
+        conn.send(cc)
+        conn.now = 0.1
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert conn.tracer.count(Kind.CAM) == 1
+        assert conn.tracer.count(Kind.CAM_DECISION) == 1
+
+
+class TestModifiedSlowStart:
+    """Technique 3 (§3.3)."""
+
+    def test_growth_during_grow_rtt(self):
+        conn, cc = attached()
+        conn.send(cc)
+        conn.now = 0.1
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert cc.cwnd == 2 * conn.mss
+
+    def test_gamma_crossing_exits_slow_start(self):
+        conn, cc = attached(gamma=2.0)
+        conn.fine_rtt.update(0.05)  # BaseRTT
+        cc.cwnd = 8 * conn.mss
+        for _ in range(8):
+            conn.send(cc)
+        conn.now = 0.1
+        conn.ack(cc, conn.mss, rtt=0.1)  # diff = 8*(1-0.5) = 4 > gamma
+        assert cc.mode == LINEAR
+
+    def test_exit_trims_window_by_eighth(self):
+        conn, cc = attached(gamma=2.0, ss_exit_factor=0.875)
+        conn.fine_rtt.update(0.05)
+        cc.cwnd = 16 * conn.mss
+        for _ in range(16):
+            conn.send(cc)
+        conn.now = 0.1
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert cc.mode == LINEAR
+        assert cc.cwnd == 14 * conn.mss  # 16 * 0.875
+
+    def test_invalid_measurement_freezes_next_rtt(self):
+        conn, cc = attached()
+        conn.fine_rtt.update(0.1)
+        conn.send(cc)
+        cc.cwnd += conn.mss  # grew during the measurement
+        conn.now = 0.2
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert not cc.ss_grow  # next RTT holds the window fixed
+        # While frozen, ACKs do not grow the window.
+        before = cc.cwnd
+        conn.send(cc)
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert cc.cwnd == before or cc.ss_grow  # growth resumes only after a valid epoch
+
+    def test_reno_ssthresh_exit_still_applies(self):
+        conn, cc = attached()
+        cc.ssthresh = 2 * conn.mss
+        cc.cwnd = 2 * conn.mss
+        conn.send(cc)
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert cc.mode == LINEAR
+
+    def test_disabled_modified_slowstart_grows_every_rtt(self):
+        conn, cc = attached(enable_modified_slowstart=False)
+        cc.ss_grow = False  # would freeze the window if enabled
+        conn.send(cc)
+        conn.ack(cc, conn.mss, rtt=0.1)
+        assert cc.cwnd == 2 * conn.mss
