@@ -17,16 +17,15 @@ retransmissions (segments arriving at the receiver entirely below its
 cumulative ACK point) on the Internet path.
 """
 
+import os
+import sys
+
 from repro.apps.bulk import BulkSink, BulkTransfer
 from repro.core.registry import make_cc
-from repro.experiments.figure5 import build_figure5
-
-import sys
-import os
 
 sys.path.insert(0, os.path.join(os.path.dirname(__file__), "..", "tests"))
 
-from _report import report
+from _report import report  # noqa: E402
 from helpers import make_pair  # noqa: E402
 
 VARIANTS = (("reno", False), ("newreno", False), ("reno-sack", True),

@@ -39,8 +39,6 @@ def test_figure1_trace_graph_elements(benchmark):
     assert graph.sending_rate
 
     # Benchmark the analysis pipeline: records -> panels.
-    import repro.experiments.traces as traces_mod
-
     tracer_records = len(graph.common.send_marks)
     rebuilt = benchmark.pedantic(
         lambda: build_trace_graph(_raw_tracer(), name="fig1"),

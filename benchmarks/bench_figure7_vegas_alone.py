@@ -6,7 +6,6 @@ tracks Expected inside the α/β band.
 """
 
 from repro.experiments.traces import figure6, figure7
-from repro.trace import series as S
 
 from _report import report
 

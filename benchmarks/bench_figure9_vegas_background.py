@@ -5,7 +5,6 @@ changing background load while keeping losses low.
 """
 
 from repro.experiments.traces import figure9
-from repro.trace import series as S
 
 from _report import report
 

@@ -27,7 +27,7 @@ from repro.tcp.protocol import TCPProtocol
 from repro.trace.export import export_csv, export_json
 from repro.trace.graphs import build_trace_graph
 from repro.trace.tracer import ConnectionTracer
-from repro.units import kbps, kb, ms
+from repro.units import kb, kbps, ms
 
 
 def run_variant(cc_name, sack=False, ecn=False, red=False,

@@ -53,7 +53,7 @@ def main():
     vegas = run_once(VegasCC, "Vegas")
     ratio = vegas.throughput_kbps() / reno.throughput_kbps()
     print(f"\nVegas/Reno throughput ratio: {ratio:.2f}x "
-          f"(the paper reports 1.4-1.7x)")
+          "(the paper reports 1.4-1.7x)")
 
 
 if __name__ == "__main__":

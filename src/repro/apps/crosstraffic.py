@@ -19,7 +19,6 @@ burstiness is what exercises Reno's and Vegas' loss recovery.
 from __future__ import annotations
 
 import random
-from typing import Optional
 
 from repro.errors import ConfigurationError
 from repro.net.node import Host

@@ -13,9 +13,13 @@ Usage::
     python -m repro.cli fairness
     python -m repro.cli telnet
     python -m repro.cli solo --cc vegas-1,3 --size-kb 512 --buffers 15
+    python -m repro.cli run-all --quick --jobs 4 --json results.json
 
 Each subcommand prints the regenerated table or trace summary, with
-the paper's numbers alongside where the paper gives them.
+the paper's numbers alongside where the paper gives them.  ``run-all``
+sweeps every experiment's cell grid in parallel (see
+:mod:`repro.harness`), caching per-cell results under
+``.repro-cache/``.
 """
 
 from __future__ import annotations
@@ -24,6 +28,8 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.errors import ReproError
+
 
 def _cmd_list(args) -> int:
     from repro.core.registry import available
@@ -31,9 +37,9 @@ def _cmd_list(args) -> int:
     print("Available congestion-control algorithms:")
     for name in available():
         print(f"  {name}")
-    print("\nSubcommands: list, solo, figure6, figure7, figure9, table1, "
-          "table2, table3, table4, table5, sendbuf, fairness, twoway, "
-          "telnet")
+    # Derived from the parser so this can never drift as commands are
+    # added (see build_parser, which stashes the subparser action).
+    print("\nSubcommands: " + ", ".join(args._subcommands))
     return 0
 
 
@@ -56,7 +62,7 @@ def _cmd_figure6(args) -> int:
     from repro.trace.ascii_plot import render_rate_panel, render_windows_panel
 
     graph, result = figure6(seed=args.seed)
-    print(f"Figure 6 — Reno, no other traffic (paper: 105 KB/s)")
+    print("Figure 6 — Reno, no other traffic (paper: 105 KB/s)")
     print(f"measured: {result.throughput_kbps:.1f} KB/s, "
           f"{result.retransmitted_kb:.1f} KB retransmitted, "
           f"{result.coarse_timeouts} timeouts, "
@@ -71,7 +77,7 @@ def _cmd_figure7(args) -> int:
     from repro.trace.ascii_plot import render_cam_panel, render_windows_panel
 
     graph, result = figure7(seed=args.seed)
-    print(f"Figure 7 — Vegas, no other traffic (paper: 169 KB/s)")
+    print("Figure 7 — Vegas, no other traffic (paper: 169 KB/s)")
     print(f"measured: {result.throughput_kbps:.1f} KB/s, "
           f"{result.retransmitted_kb:.1f} KB retransmitted, "
           f"{result.coarse_timeouts} timeouts\n")
@@ -147,7 +153,6 @@ def _cmd_table4(args) -> int:
 def _cmd_table5(args) -> int:
     from repro.experiments.internet import PAPER_TABLE5, table5
     from repro.metrics.tables import format_table
-    from repro.units import kb
 
     tables = table5(seeds=range(args.seeds))
     for size in sorted(tables, reverse=True):
@@ -220,6 +225,55 @@ def _cmd_telnet(args) -> int:
     return 0
 
 
+def _cmd_run_all(args) -> int:
+    from repro.harness import aggregate, artifacts, cache as cache_mod
+    from repro.harness import registry, runner
+
+    experiments = None
+    if args.experiments:
+        experiments = [name.strip() for name in args.experiments.split(",")
+                       if name.strip()]
+    try:
+        cells = registry.all_cells(quick=args.quick, experiments=experiments)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    if args.jobs is not None and args.jobs < 1:
+        print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+
+    src_hash = cache_mod.compute_src_hash()
+    cache = None
+    if not args.no_cache:
+        cache_dir = args.cache_dir or cache_mod.default_cache_dir()
+        cache = cache_mod.ResultCache(cache_dir, src_hash)
+
+    total = len(cells)
+    done = [0]
+
+    def progress(line: str) -> None:
+        done[0] += 1
+        print(f"[{done[0]}/{total}] {line}", file=sys.stderr)
+
+    report = runner.run_cells(cells, jobs=args.jobs, cache=cache,
+                              progress=progress)
+    doc = artifacts.build_document(
+        report, mode="quick" if args.quick else "full", src_hash=src_hash)
+    if args.json:
+        artifacts.write_document(args.json, doc)
+
+    print(aggregate.summarize(doc["cells"]))
+    print()
+    print(f"{total} cells, jobs={report.jobs}, "
+          f"{report.elapsed_s:.1f}s elapsed "
+          f"(cell wall clock {doc['run']['cell_wall_clock_s']:.1f}s); "
+          f"cache: {report.cache_hits} hits / {report.cache_misses} misses")
+    print(f"cell fingerprint: {artifacts.cells_fingerprint(doc)}")
+    if args.json:
+        print(f"JSON artifact: {args.json}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -258,6 +312,26 @@ def build_parser() -> argparse.ArgumentParser:
     add("fairness", _cmd_fairness, "competing connections")
     add("twoway", _cmd_twoway, "two-way background traffic", seeds=True)
     add("telnet", _cmd_telnet, "TELNET response time", seeds=True)
+
+    run_all = sub.add_parser(
+        "run-all",
+        help="run every experiment's cell grid in parallel, with caching")
+    run_all.add_argument("--quick", action="store_true",
+                         help="reduced grids (the CI smoke configuration)")
+    run_all.add_argument("--jobs", type=int, default=None,
+                         help="worker processes (default: cpu count)")
+    run_all.add_argument("--json", metavar="PATH",
+                         help="write the sweep as a JSON artifact")
+    run_all.add_argument("--experiments", metavar="A,B,...",
+                         help="comma-separated subset (default: all)")
+    run_all.add_argument("--no-cache", action="store_true",
+                         help="ignore and do not update .repro-cache/")
+    run_all.add_argument("--cache-dir", metavar="DIR", default=None,
+                         help="cache location (default: $REPRO_CACHE_DIR "
+                              "or .repro-cache)")
+    run_all.set_defaults(fn=_cmd_run_all)
+
+    parser.set_defaults(_subcommands=tuple(sub.choices))
     return parser
 
 

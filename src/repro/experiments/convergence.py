@@ -17,14 +17,14 @@ available network bandwidth".  Two scenarios:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import List
 
 from repro.apps.bulk import BulkSink, BulkTransfer
 from repro.experiments import defaults as DFLT
 from repro.experiments.figure5 import build_figure5
 from repro.experiments.transfers import CCSpec, resolve_cc
 from repro.metrics.sampler import RateSampler
-from repro.units import kb, mb
+from repro.units import mb
 
 
 @dataclass

@@ -14,14 +14,13 @@ background".
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Optional, Tuple
+from typing import Dict, Iterable, List, Tuple
 
 from repro.experiments import defaults as DFLT
 from repro.experiments.figure5 import build_figure5
 from repro.experiments.transfers import (
     CCSpec,
     TransferResult,
-    resolve_cc,
     start_measured_transfer,
 )
 from repro.metrics.tables import MetricTable
@@ -100,7 +99,7 @@ def table1(buffers: Iterable[int] = DFLT.TABLE1_BUFFERS,
     Returns the metric table (rows: small/large throughput and
     retransmit KB) plus all individual run results.
     """
-    columns = [f"{s}/{l}" for s, l in combos]
+    columns = [f"{small}/{large}" for small, large in combos]
     table = MetricTable(columns)
     results: List[OneOnOneResult] = []
     for small_cc, large_cc in combos:

@@ -9,7 +9,7 @@ captions quote (Figure 6: Reno 105 KB/s alone; Figure 7: Vegas
 
 from __future__ import annotations
 
-from typing import Optional, Tuple
+from typing import Tuple
 
 from repro.core.vegas import VegasCC
 from repro.experiments import defaults as DFLT
@@ -18,7 +18,6 @@ from repro.experiments.figure5 import build_figure5
 from repro.experiments.transfers import (
     CCSpec,
     TransferResult,
-    resolve_cc,
     start_measured_transfer,
 )
 from repro.trace.graphs import TraceGraph, build_trace_graph

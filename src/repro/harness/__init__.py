@@ -1,0 +1,55 @@
+"""Parallel experiment harness.
+
+The paper's evaluation is a grid: every table and figure is a mean
+over independent simulation runs — ``(experiment, protocol, buffers,
+delay, seed, ...)`` combinations that share nothing but code.  This
+package decomposes each experiment into those **cells** and runs them
+through one pipeline:
+
+- :mod:`repro.harness.registry` — the scenario registry: every
+  experiment's quick/full grids as :class:`~repro.harness.registry.Cell`
+  objects with stable string keys.
+- :mod:`repro.harness.runner` — executes cells serially or on a
+  ``multiprocessing`` pool; results are bit-identical either way
+  because each cell builds its own :class:`~repro.sim.engine.Simulator`
+  from its own seed.
+- :mod:`repro.harness.cache` — an on-disk result cache under
+  ``.repro-cache/`` keyed by cell key plus a content hash of
+  ``src/repro``, so unchanged code never re-simulates.
+- :mod:`repro.harness.artifacts` — schema-versioned JSON documents of
+  every cell's metrics.
+- :mod:`repro.harness.check` — the regression gate CI runs against
+  ``baselines/expected.json``.
+- :mod:`repro.harness.aggregate` — re-assembles cells into the
+  paper-style tables the individual CLI subcommands print.
+
+The CLI front end is ``python -m repro.cli run-all``.
+"""
+
+from repro.harness.artifacts import (
+    SCHEMA_VERSION,
+    build_document,
+    cells_fingerprint,
+    load_document,
+    write_document,
+)
+from repro.harness.cache import ResultCache, compute_src_hash
+from repro.harness.registry import Cell, all_cells, cells_for, run_cell
+from repro.harness.runner import CellResult, RunReport, run_cells
+
+__all__ = [
+    "SCHEMA_VERSION",
+    "Cell",
+    "CellResult",
+    "ResultCache",
+    "RunReport",
+    "all_cells",
+    "build_document",
+    "cells_fingerprint",
+    "cells_for",
+    "compute_src_hash",
+    "load_document",
+    "run_cell",
+    "run_cells",
+    "write_document",
+]

@@ -1,0 +1,244 @@
+"""Re-assemble harness cells into the paper-style experiment outputs.
+
+The serial CLI subcommands loop over a grid and feed samples into a
+:class:`~repro.metrics.tables.MetricTable` as they go; the harness
+runs the same grid as independent cells and this module folds the
+cells back into those tables (and the non-tabular summaries) after
+the fact.  Aggregation works on JSON-shaped cell dicts —
+``{"experiment", "params", "metrics"}`` — so it applies equally to a
+fresh :class:`~repro.harness.runner.RunReport` rendered by
+:func:`repro.harness.artifacts.build_document` and to a document
+loaded back from disk.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Sequence
+
+from repro.metrics.tables import MetricTable, format_table
+
+Cells = Sequence[Dict[str, Any]]
+
+
+def _group(cells: Cells) -> Dict[str, List[Dict[str, Any]]]:
+    grouped: Dict[str, List[Dict[str, Any]]] = {}
+    for cell in sorted(cells, key=lambda c: c["key"]):
+        grouped.setdefault(cell["experiment"], []).append(cell)
+    return grouped
+
+
+def _table1(cells: Cells) -> str:
+    from repro.experiments.one_on_one import PAPER_TABLE1
+
+    columns = sorted({f"{c['params']['small']}/{c['params']['large']}"
+                      for c in cells})
+    table = MetricTable(columns)
+    for cell in cells:
+        column = f"{cell['params']['small']}/{cell['params']['large']}"
+        metrics = cell["metrics"]
+        table.add_sample("Small throughput (KB/s)", column,
+                         metrics["small_throughput_kbps"])
+        table.add_sample("Large throughput (KB/s)", column,
+                         metrics["large_throughput_kbps"])
+        table.add_sample("Small retransmits (KB)", column,
+                         metrics["small_retransmit_kb"])
+        table.add_sample("Large retransmits (KB)", column,
+                         metrics["large_retransmit_kb"])
+        table.add_sample("Combined retransmits (KB)", column,
+                         metrics["small_retransmit_kb"]
+                         + metrics["large_retransmit_kb"])
+    ratios = {}
+    if "reno/reno" in columns:
+        ratios = {"Small throughput (KB/s)": "reno/reno",
+                  "Large throughput (KB/s)": "reno/reno"}
+    return format_table("Table 1: one-on-one transfers", table,
+                        ratios_for=ratios, paper=PAPER_TABLE1)
+
+
+def _simple_transfer_table(cells: Cells, title: str, column_param: str,
+                           paper=None) -> str:
+    columns = sorted({str(c["params"][column_param]) for c in cells})
+    table = MetricTable(columns)
+    for cell in cells:
+        column = str(cell["params"][column_param])
+        metrics = cell["metrics"]
+        table.add_sample("Throughput (KB/s)", column,
+                         metrics["throughput_kbps"])
+        table.add_sample("Retransmissions (KB)", column,
+                         metrics["retransmit_kb"])
+        table.add_sample("Coarse timeouts", column,
+                         metrics["coarse_timeouts"])
+        if "background_throughput_kbps" in metrics:
+            table.add_sample("Background throughput (KB/s)", column,
+                             metrics["background_throughput_kbps"])
+    ratios = {}
+    if "reno" in columns:
+        ratios = {"Throughput (KB/s)": "reno", "Retransmissions (KB)": "reno"}
+    return format_table(title, table, ratios_for=ratios, paper=paper)
+
+
+def _table2(cells: Cells) -> str:
+    from repro.experiments.background import PAPER_TABLE2
+
+    return _simple_transfer_table(
+        cells, "Table 2: 1MB transfer vs tcplib background", "proto",
+        paper=PAPER_TABLE2)
+
+
+def _table3(cells: Cells) -> str:
+    from repro.experiments.background import PAPER_TABLE3
+
+    sums: Dict[tuple, List[float]] = {}
+    for cell in cells:
+        pair = (cell["params"]["background"], cell["params"]["transfer"])
+        sums.setdefault(pair, []).append(
+            cell["metrics"]["background_throughput_kbps"])
+    lines = ["Table 3: background throughput (KB/s)",
+             "background CC | transfer CC | measured | paper"]
+    for pair in sorted(sums):
+        mean = sum(sums[pair]) / len(sums[pair])
+        lines.append(f"{pair[0]:>13} | {pair[1]:>11} | {mean:8.1f} | "
+                     f"{PAPER_TABLE3[pair]:5.0f}")
+    return "\n".join(lines)
+
+
+def _table4(cells: Cells) -> str:
+    from repro.experiments.internet import PAPER_TABLE4
+
+    return _simple_transfer_table(
+        cells, "Table 4: 1MB over the emulated UA->NIH path", "proto",
+        paper=PAPER_TABLE4)
+
+
+def _table5(cells: Cells) -> str:
+    from repro.experiments.internet import PAPER_TABLE5
+    from repro.units import kb
+
+    sizes = sorted({c["params"]["size_kb"] for c in cells}, reverse=True)
+    sections = []
+    for size_kb in sizes:
+        subset = [c for c in cells if c["params"]["size_kb"] == size_kb]
+        sections.append(_simple_transfer_table(
+            subset, f"Table 5 — {size_kb} KB transfers", "proto",
+            paper=PAPER_TABLE5.get(kb(size_kb))))
+    return "\n\n".join(sections)
+
+
+def _figure(title: str, paper_note: str):
+    def render(cells: Cells) -> str:
+        lines = [f"{title} ({paper_note})"]
+        for cell in cells:
+            metrics = cell["metrics"]
+            lines.append(
+                f"seed {cell['params']['seed']}: "
+                f"{metrics['throughput_kbps']:.1f} KB/s, "
+                f"{metrics['retransmit_kb']:.1f} KB retransmitted, "
+                f"{metrics['coarse_timeouts']:.0f} timeouts, "
+                f"{metrics['segments_lost']:.0f} segments lost")
+        return "\n".join(lines)
+    return render
+
+
+def _sendbuf(cells: Cells) -> str:
+    by_size: Dict[int, Dict[str, List[Dict[str, float]]]] = {}
+    for cell in cells:
+        size = cell["params"]["size_kb"]
+        by_size.setdefault(size, {}).setdefault(
+            cell["params"]["cc"], []).append(cell["metrics"])
+    lines = ["§4.3 send-buffer sweep (1 MB solo transfers)",
+             "sndbuf | Reno KB/s (retx) | Vegas KB/s (retx)"]
+
+    def mean(metrics_list, field):
+        return sum(m[field] for m in metrics_list) / len(metrics_list)
+
+    for size in sorted(by_size):
+        cols = []
+        for cc in ("reno", "vegas"):
+            runs = by_size[size].get(cc)
+            if runs:
+                cols.append(f"{mean(runs, 'throughput_kbps'):8.1f} "
+                            f"({mean(runs, 'retransmit_kb'):5.1f})")
+            else:
+                cols.append(f"{'-':>16}")
+        lines.append(f"{size:4d}KB | {cols[0]} | {cols[1]}")
+    return "\n".join(lines)
+
+
+def _fairness(cells: Cells) -> str:
+    lines = ["§4.3 multiple competing connections (Jain index)"]
+    ordered = sorted(cells, key=lambda c: (c["params"]["count"],
+                                           c["params"]["cc"],
+                                           c["params"]["mixed"]))
+    for cell in ordered:
+        params, metrics = cell["params"], cell["metrics"]
+        delays = "2:1" if params["mixed"] else "equal"
+        lines.append(f"{params['count']:3d} conns, {delays:5s} delays, "
+                     f"{params['cc']:5s}: "
+                     f"Jain {metrics['fairness_index']:.3f}, "
+                     f"{metrics['coarse_timeouts']:.0f} timeouts")
+    return "\n".join(lines)
+
+
+def _twoway(cells: Cells) -> str:
+    return _simple_transfer_table(
+        cells, "§4.3 two-way background traffic", "proto")
+
+
+def _telnet(cells: Cells) -> str:
+    pooled: Dict[str, List[Dict[str, float]]] = {}
+    for cell in cells:
+        pooled.setdefault(cell["params"]["cc"], []).append(cell["metrics"])
+
+    def pooled_mean(runs):
+        total = sum(m["n_samples"] for m in runs)
+        if not total:
+            return 0.0
+        return sum(m["mean_response_s"] * m["n_samples"] for m in runs) / total
+
+    lines = ["§6 TELNET response time (all-Reno vs all-Vegas world)"]
+    means = {cc: pooled_mean(runs) for cc, runs in pooled.items()}
+    for cc in sorted(means):
+        lines.append(f"all-{cc}: {means[cc] * 1000:7.1f} ms mean response")
+    if means.get("reno"):
+        speedup = (means["reno"] - means.get("vegas", 0.0)) / means["reno"]
+        lines.append(f"vegas vs reno: {speedup * 100:+.1f}% "
+                     "(paper: ~25% faster)")
+    return "\n".join(lines)
+
+
+_AGGREGATORS = {
+    "table1": _table1,
+    "table2": _table2,
+    "table3": _table3,
+    "table4": _table4,
+    "table5": _table5,
+    "figure6": _figure("Figure 6 — Reno, no other traffic",
+                       "paper: 105 KB/s"),
+    "figure7": _figure("Figure 7 — Vegas, no other traffic",
+                       "paper: 169 KB/s"),
+    "figure9": _figure("Figure 9 — Vegas + tcplib background",
+                       "trace headline numbers"),
+    "sendbuf": _sendbuf,
+    "fairness": _fairness,
+    "twoway": _twoway,
+    "telnet": _telnet,
+}
+
+
+def summarize(cells: Cells) -> str:
+    """Paper-style text report for every experiment present in *cells*."""
+    from repro.harness.registry import EXPERIMENTS
+
+    grouped = _group(cells)
+    sections = []
+    # Registry order first, then anything unknown (forward compatibility).
+    order = [e for e in EXPERIMENTS if e in grouped]
+    order.extend(e for e in sorted(grouped) if e not in EXPERIMENTS)
+    for experiment in order:
+        aggregator = _AGGREGATORS.get(experiment)
+        if aggregator is None:
+            sections.append(f"{experiment}: {len(grouped[experiment])} cells "
+                            "(no aggregator)")
+        else:
+            sections.append(aggregator(grouped[experiment]))
+    return "\n\n".join(sections)

@@ -1,0 +1,86 @@
+"""Schema-versioned JSON artifacts for harness sweeps.
+
+The artifact is the machine-readable record of a sweep: one entry per
+cell with its parameters and metrics, plus run metadata (job count,
+cache accounting, wall clock).  Determinism contract: for the same
+source tree and cells, the ``cells`` array is byte-identical across
+``--jobs`` settings and across cached/uncached runs **except** for the
+``wall_clock_s`` and ``cached`` bookkeeping fields, which is why
+:func:`cells_fingerprint` — the hash CI compares — covers only the
+deterministic fields.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List
+
+from repro.errors import ReproError
+
+#: Bump on any change to the document layout or cell key format.
+SCHEMA_VERSION = "repro-harness/v1"
+
+
+def build_document(report, mode: str, src_hash: str) -> Dict[str, Any]:
+    """Render a :class:`~repro.harness.runner.RunReport` as an artifact."""
+    cells: List[Dict[str, Any]] = []
+    for result in sorted(report.results, key=lambda r: r.key):
+        cells.append({
+            "key": result.key,
+            "experiment": result.cell.experiment,
+            "params": result.cell.as_dict(),
+            "metrics": dict(sorted(result.metrics.items())),
+            "wall_clock_s": result.wall_clock_s,
+            "cached": result.cached,
+        })
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "mode": mode,
+        "src_hash": src_hash,
+        "run": {
+            "jobs": report.jobs,
+            "cache_hits": report.cache_hits,
+            "cache_misses": report.cache_misses,
+            "cells": len(cells),
+            "elapsed_s": report.elapsed_s,
+            "cell_wall_clock_s": sum(c["wall_clock_s"] for c in cells),
+        },
+        "cells": cells,
+    }
+
+
+def cells_fingerprint(doc: Dict[str, Any]) -> str:
+    """Hash of the deterministic part of a document's cells.
+
+    Two sweeps of the same code and grid have equal fingerprints no
+    matter how many jobs ran them or what was cached.
+    """
+    stable = [{"key": c["key"], "experiment": c["experiment"],
+               "params": c["params"], "metrics": c["metrics"]}
+              for c in sorted(doc["cells"], key=lambda c: c["key"])]
+    blob = json.dumps(stable, sort_keys=True, separators=(",", ":"))
+    return hashlib.sha256(blob.encode()).hexdigest()
+
+
+def write_document(path: str, doc: Dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_document(path: str) -> Dict[str, Any]:
+    """Load and validate an artifact written by :func:`write_document`."""
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read harness artifact {path!r}: {exc}") from exc
+    version = doc.get("schema_version") if isinstance(doc, dict) else None
+    if version != SCHEMA_VERSION:
+        raise ReproError(
+            f"{path!r}: unsupported schema {version!r} "
+            f"(expected {SCHEMA_VERSION!r})")
+    if not isinstance(doc.get("cells"), list):
+        raise ReproError(f"{path!r}: artifact has no cells array")
+    return doc

@@ -1,0 +1,106 @@
+"""Regression gate: compare a sweep artifact against a baseline.
+
+::
+
+    python -m repro.harness.check results.json baselines/expected.json \
+        --tolerance 0.15
+
+Every cell in the baseline must be present in the results, and every
+baseline metric must match within the relative tolerance.  Cells only
+present in the results (new experiments) are reported but do not fail
+the check — baselines are ratcheted forward by regenerating them, not
+by blocking additions.
+
+Exit codes: 0 = within tolerance, 1 = drift/missing cells,
+2 = unreadable or schema-incompatible input.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+from repro.harness.artifacts import load_document
+
+
+def _within(actual: float, expected: float, tolerance: float) -> bool:
+    # Relative tolerance with an absolute floor of one unit, so
+    # near-zero expectations (0 coarse timeouts) do not demand
+    # infinite precision but cannot drift far either.
+    return abs(actual - expected) <= tolerance * max(1.0, abs(expected))
+
+
+def compare(results: Dict[str, Any], expected: Dict[str, Any],
+            tolerance: float) -> List[str]:
+    """All tolerance violations of *results* against *expected*."""
+    problems: List[str] = []
+    actual_cells = {c["key"]: c for c in results["cells"]}
+    expected_cells = {c["key"]: c for c in expected["cells"]}
+
+    missing = sorted(set(expected_cells) - set(actual_cells))
+    for key in missing:
+        problems.append(f"missing cell: {key}")
+
+    for key in sorted(set(expected_cells) & set(actual_cells)):
+        want = expected_cells[key].get("metrics", {})
+        got = actual_cells[key].get("metrics", {})
+        for metric in sorted(want):
+            if metric not in got:
+                problems.append(f"{key}: metric {metric} missing")
+                continue
+            w, g = want[metric], got[metric]
+            if not _within(g, w, tolerance):
+                problems.append(
+                    f"{key}: {metric} = {g:g}, expected {w:g} "
+                    f"(tolerance {tolerance:g})")
+    return problems
+
+
+def extra_cells(results: Dict[str, Any], expected: Dict[str, Any]) -> List[str]:
+    """Cell keys present in *results* but absent from the baseline."""
+    have = {c["key"] for c in expected["cells"]}
+    return sorted(c["key"] for c in results["cells"] if c["key"] not in have)
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro.harness.check",
+        description="Check a run-all JSON artifact against a baseline.")
+    parser.add_argument("results", help="artifact from run-all --json")
+    parser.add_argument("expected", help="committed baseline artifact")
+    parser.add_argument("--tolerance", type=float, default=0.15,
+                        help="relative tolerance per metric (default 0.15)")
+    args = parser.parse_args(argv)
+
+    try:
+        results = load_document(args.results)
+        expected = load_document(args.expected)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    problems = compare(results, expected, args.tolerance)
+    new = extra_cells(results, expected)
+    if new:
+        print(f"note: {len(new)} cell(s) not in baseline "
+              "(regenerate the baseline to track them):")
+        for key in new[:10]:
+            print(f"  + {key}")
+        if len(new) > 10:
+            print(f"  ... and {len(new) - 10} more")
+
+    checked = len(expected["cells"])
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) across {checked} "
+              "baseline cell(s):")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    print(f"OK: {checked} cell(s) within tolerance {args.tolerance:g}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

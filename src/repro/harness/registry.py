@@ -1,0 +1,380 @@
+"""Scenario registry: every paper artifact decomposed into cells.
+
+A **cell** is one independent simulation run — the atom of the
+evaluation grid.  ``table2`` is 27 cells (3 protocols x 3 buffer
+counts x 3 seeds); ``figure7`` is a single traced run.  Cells carry a
+stable string key (``table2/buffers=10/proto=reno/seed=0``) used for
+caching, JSON artifacts, and the regression baseline, so the key
+format is a compatibility contract: changing it invalidates every
+cached and committed result.
+
+Each experiment registers a *grid* (quick and full variants) and a
+*runner* that executes one cell and returns a flat ``{metric: number}``
+dict.  Runners are module-level functions so cells can cross a
+``multiprocessing`` pickle boundary.  Seeds are part of the cell
+parameters — never derived from worker identity — which is what makes
+``--jobs 1`` and ``--jobs N`` bit-identical by construction.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
+
+from repro.errors import ReproError
+
+#: Metric key every runner gets for free (see :func:`run_cell`).
+EVENTS_METRIC = "events_processed"
+
+
+def _fmt(value: Any) -> str:
+    """Render one parameter value for a cell key, stably."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return format(value, "g")
+    return str(value)
+
+
+@dataclass(frozen=True)
+class Cell:
+    """One grid point: an experiment name plus its parameters.
+
+    ``params`` is a key-sorted tuple of pairs so cells are hashable,
+    picklable, and render to the same key however they were built.
+    """
+
+    experiment: str
+    params: Tuple[Tuple[str, Any], ...]
+
+    @classmethod
+    def make(cls, experiment: str, **params: Any) -> "Cell":
+        return cls(experiment, tuple(sorted(params.items())))
+
+    def as_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
+    @property
+    def key(self) -> str:
+        parts = [self.experiment]
+        parts.extend(f"{k}={_fmt(v)}" for k, v in self.params)
+        return "/".join(parts)
+
+    def __str__(self) -> str:
+        return self.key
+
+
+# ----------------------------------------------------------------------
+# Cell runners: one function per experiment, returning flat metrics.
+# Imports are deferred so pool workers only load what their cells use.
+# ----------------------------------------------------------------------
+
+def _table1_cell(small: str, large: str, buffers: int, delay: float,
+                 seed: int) -> Dict[str, float]:
+    from repro.experiments.one_on_one import run_one_on_one
+
+    result = run_one_on_one(small, large, delay, buffers, seed=seed)
+    return {
+        "small_throughput_kbps": result.small.throughput_kbps,
+        "small_retransmit_kb": result.small.retransmitted_kb,
+        "small_coarse_timeouts": result.small.coarse_timeouts,
+        "large_throughput_kbps": result.large.throughput_kbps,
+        "large_retransmit_kb": result.large.retransmitted_kb,
+        "large_coarse_timeouts": result.large.coarse_timeouts,
+    }
+
+
+def _table2_cell(proto: str, buffers: int, seed: int) -> Dict[str, float]:
+    from repro.experiments.background import run_with_background
+
+    run = run_with_background(proto, buffers=buffers, seed=seed)
+    return {
+        "throughput_kbps": run.transfer.throughput_kbps,
+        "retransmit_kb": run.transfer.retransmitted_kb,
+        "coarse_timeouts": run.transfer.coarse_timeouts,
+        "background_throughput_kbps": run.background_throughput_kbps,
+    }
+
+
+def _table3_cell(background: str, transfer: str, buffers: int,
+                 seed: int) -> Dict[str, float]:
+    from repro.experiments.background import run_with_background
+
+    run = run_with_background(transfer, background_cc=background,
+                              buffers=buffers, seed=seed)
+    return {
+        "background_throughput_kbps": run.background_throughput_kbps,
+        "transfer_throughput_kbps": run.transfer.throughput_kbps,
+    }
+
+
+def _table4_cell(proto: str, seed: int) -> Dict[str, float]:
+    from repro.experiments.internet import run_internet_transfer
+
+    result = run_internet_transfer(proto, seed=seed)
+    return {
+        "throughput_kbps": result.throughput_kbps,
+        "retransmit_kb": result.retransmitted_kb,
+        "coarse_timeouts": result.coarse_timeouts,
+    }
+
+
+def _table5_cell(proto: str, size_kb: int, seed: int) -> Dict[str, float]:
+    from repro.experiments.internet import run_internet_transfer
+    from repro.units import kb
+
+    result = run_internet_transfer(proto, size=kb(size_kb), seed=seed)
+    return {
+        "throughput_kbps": result.throughput_kbps,
+        "retransmit_kb": result.retransmitted_kb,
+        "coarse_timeouts": result.coarse_timeouts,
+    }
+
+
+def _traced_metrics(graph, result) -> Dict[str, float]:
+    return {
+        "throughput_kbps": result.throughput_kbps,
+        "retransmit_kb": result.retransmitted_kb,
+        "coarse_timeouts": result.coarse_timeouts,
+        "segments_lost": graph.losses(),
+    }
+
+
+def _figure6_cell(seed: int) -> Dict[str, float]:
+    from repro.experiments.traces import figure6
+
+    return _traced_metrics(*figure6(seed=seed))
+
+
+def _figure7_cell(seed: int) -> Dict[str, float]:
+    from repro.experiments.traces import figure7
+
+    return _traced_metrics(*figure7(seed=seed))
+
+
+def _figure9_cell(seed: int) -> Dict[str, float]:
+    from repro.experiments.traces import figure9
+
+    return _traced_metrics(*figure9(seed=seed))
+
+
+def _sendbuf_cell(cc: str, size_kb: int, seed: int) -> Dict[str, float]:
+    from repro.experiments.transfers import run_solo_transfer
+    from repro.units import kb
+
+    result = run_solo_transfer(cc, seed=seed, sndbuf=kb(size_kb))
+    return {
+        "throughput_kbps": result.throughput_kbps,
+        "retransmit_kb": result.retransmitted_kb,
+        "coarse_timeouts": result.coarse_timeouts,
+    }
+
+
+def _fairness_cell(cc: str, count: int, mixed: bool,
+                   seed: int) -> Dict[str, float]:
+    from repro.experiments.fairness_exp import run_competing_connections
+    from repro.units import kb, mb
+
+    # The CLI's grid: 2 MB transfers for 2/4 connections, 512 KB for 16.
+    size = mb(2) if count <= 4 else kb(512)
+    result = run_competing_connections(cc, count, transfer_bytes=size,
+                                       mixed_delays=mixed, buffers=20,
+                                       seed=seed)
+    return {
+        "fairness_index": result.fairness_index,
+        "aggregate_throughput_kbps": result.aggregate_throughput,
+        "retransmit_kb": result.total_retransmit_kb,
+        "coarse_timeouts": result.coarse_timeouts,
+    }
+
+
+def _twoway_cell(proto: str, buffers: int, seed: int) -> Dict[str, float]:
+    from repro.experiments.background import run_with_background
+
+    run = run_with_background(proto, buffers=buffers, seed=seed,
+                              two_way=True)
+    return {
+        "throughput_kbps": run.transfer.throughput_kbps,
+        "retransmit_kb": run.transfer.retransmitted_kb,
+        "coarse_timeouts": run.transfer.coarse_timeouts,
+    }
+
+
+def _telnet_cell(cc: str, seed: int) -> Dict[str, float]:
+    from repro.experiments.telnet_response import run_telnet_response
+
+    result = run_telnet_response(cc, seed=seed, arrival_mean=0.22,
+                                 duration=120.0)
+    return {
+        "mean_response_s": result.mean,
+        "median_response_s": result.median,
+        "p95_response_s": result.p95,
+        "n_samples": len(result.samples),
+    }
+
+
+_RUNNERS: Dict[str, Callable[..., Dict[str, float]]] = {
+    "table1": _table1_cell,
+    "table2": _table2_cell,
+    "table3": _table3_cell,
+    "table4": _table4_cell,
+    "table5": _table5_cell,
+    "figure6": _figure6_cell,
+    "figure7": _figure7_cell,
+    "figure9": _figure9_cell,
+    "sendbuf": _sendbuf_cell,
+    "fairness": _fairness_cell,
+    "twoway": _twoway_cell,
+    "telnet": _telnet_cell,
+}
+
+
+# ----------------------------------------------------------------------
+# Grids: the quick/full parameter sweeps, mirroring the CLI defaults.
+# ----------------------------------------------------------------------
+
+_TABLE1_COMBOS = (("reno", "reno"), ("reno", "vegas"),
+                  ("vegas", "reno"), ("vegas", "vegas"))
+_TABLE2_PROTOCOLS = ("reno", "vegas-1,3", "vegas-2,4")
+
+
+def _table1_grid(quick: bool) -> List[Cell]:
+    delays = (0.0, 1.0, 2.0) if quick else (0.0, 0.5, 1.0, 1.5, 2.0, 2.5)
+    buffers = (15, 20)
+    cells = []
+    for small, large in _TABLE1_COMBOS:
+        # Seeds follow the serial driver: one run index per
+        # (buffers, delay) grid point, restarting per combo.
+        run_index = 0
+        for nbuf in buffers:
+            for delay in delays:
+                cells.append(Cell.make("table1", small=small, large=large,
+                                       buffers=nbuf, delay=delay,
+                                       seed=run_index))
+                run_index += 1
+    return cells
+
+
+def _table2_grid(quick: bool) -> List[Cell]:
+    buffers = (10,) if quick else (10, 15, 20)
+    seeds = (0,) if quick else (0, 1, 2)
+    return [Cell.make("table2", proto=proto, buffers=nbuf, seed=seed)
+            for proto in _TABLE2_PROTOCOLS
+            for nbuf in buffers for seed in seeds]
+
+
+def _table3_grid(quick: bool) -> List[Cell]:
+    buffers = (10,) if quick else (10, 15, 20)
+    seeds = (0,) if quick else (0, 1, 2)
+    return [Cell.make("table3", background=bg, transfer=xfer,
+                      buffers=nbuf, seed=seed)
+            for bg in ("reno", "vegas") for xfer in ("reno", "vegas")
+            for nbuf in buffers for seed in seeds]
+
+
+def _table4_grid(quick: bool) -> List[Cell]:
+    seeds = (0, 1) if quick else (0, 1, 2)
+    return [Cell.make("table4", proto=proto, seed=seed)
+            for proto in _TABLE2_PROTOCOLS for seed in seeds]
+
+
+def _table5_grid(quick: bool) -> List[Cell]:
+    sizes = (512, 128) if quick else (1024, 512, 128)
+    seeds = (0, 1) if quick else (0, 1, 2)
+    return [Cell.make("table5", proto=proto, size_kb=size, seed=seed)
+            for size in sizes for proto in ("reno", "vegas-1,3")
+            for seed in seeds]
+
+
+def _figure_grid(name: str):
+    def grid(quick: bool) -> List[Cell]:
+        return [Cell.make(name, seed=0)]
+    return grid
+
+
+def _sendbuf_grid(quick: bool) -> List[Cell]:
+    sizes = (5, 20, 50) if quick else (5, 10, 15, 20, 30, 40, 50)
+    return [Cell.make("sendbuf", cc=cc, size_kb=size, seed=0)
+            for cc in ("reno", "vegas") for size in sizes]
+
+
+def _fairness_grid(quick: bool) -> List[Cell]:
+    counts = (2, 16) if quick else (2, 4, 16)
+    return [Cell.make("fairness", cc=cc, count=count, mixed=mixed, seed=0)
+            for count in counts for cc in ("reno", "vegas")
+            for mixed in (False, True)]
+
+
+def _twoway_grid(quick: bool) -> List[Cell]:
+    buffers = (10,) if quick else (10, 15, 20)
+    seeds = (0,) if quick else (0, 1, 2)
+    return [Cell.make("twoway", proto=proto, buffers=nbuf, seed=seed)
+            for proto in ("reno", "vegas")
+            for nbuf in buffers for seed in seeds]
+
+
+def _telnet_grid(quick: bool) -> List[Cell]:
+    seeds = (0,) if quick else (0, 1, 2)
+    return [Cell.make("telnet", cc=cc, seed=seed)
+            for cc in ("reno", "vegas") for seed in seeds]
+
+
+_GRIDS: Dict[str, Callable[[bool], List[Cell]]] = {
+    "table1": _table1_grid,
+    "table2": _table2_grid,
+    "table3": _table3_grid,
+    "table4": _table4_grid,
+    "table5": _table5_grid,
+    "figure6": _figure_grid("figure6"),
+    "figure7": _figure_grid("figure7"),
+    "figure9": _figure_grid("figure9"),
+    "sendbuf": _sendbuf_grid,
+    "fairness": _fairness_grid,
+    "twoway": _twoway_grid,
+    "telnet": _telnet_grid,
+}
+
+#: Registry order — also the order ``run-all`` reports experiments in.
+EXPERIMENTS: Tuple[str, ...] = tuple(_GRIDS)
+
+
+def cells_for(experiment: str, quick: bool = False) -> List[Cell]:
+    """All cells of one experiment's grid (quick or full variant)."""
+    try:
+        grid = _GRIDS[experiment]
+    except KeyError:
+        known = ", ".join(EXPERIMENTS)
+        raise ReproError(
+            f"unknown experiment {experiment!r} (known: {known})") from None
+    return grid(quick)
+
+
+def all_cells(quick: bool = False,
+              experiments: Optional[Iterable[str]] = None) -> List[Cell]:
+    """The full sweep: every experiment's grid, in registry order."""
+    names = list(experiments) if experiments is not None else list(EXPERIMENTS)
+    cells: List[Cell] = []
+    for name in names:
+        cells.extend(cells_for(name, quick=quick))
+    return cells
+
+
+def run_cell(cell: Cell) -> Dict[str, float]:
+    """Execute one cell and return its metrics.
+
+    Adds ``events_processed`` (from the cell's simulator, via
+    :func:`repro.sim.engine.last_simulator`) to whatever the
+    experiment runner reports.
+    """
+    from repro.sim import engine
+
+    try:
+        runner = _RUNNERS[cell.experiment]
+    except KeyError:
+        raise ReproError(f"no runner for experiment {cell.experiment!r}") from None
+    engine._last_simulator = None
+    metrics = runner(**cell.as_dict())
+    sim = engine.last_simulator()
+    if sim is not None:
+        metrics[EVENTS_METRIC] = sim.events_processed
+    return metrics

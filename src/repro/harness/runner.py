@@ -1,0 +1,128 @@
+"""Parallel cell execution.
+
+Every cell is an independent deterministic simulation — it builds its
+own :class:`~repro.sim.engine.Simulator` from its own seed — so the
+grid is embarrassingly parallel and the results cannot depend on
+worker scheduling.  The runner therefore guarantees: for the same
+registry cells, ``--jobs 1`` and ``--jobs N`` produce identical
+metrics, and a populated cache short-circuits execution entirely.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.harness.cache import ResultCache
+from repro.harness.registry import Cell, run_cell
+
+
+@dataclass
+class CellResult:
+    """One executed (or cache-served) cell."""
+
+    cell: Cell
+    metrics: Dict[str, float]
+    wall_clock_s: float
+    cached: bool = False
+
+    @property
+    def key(self) -> str:
+        return self.cell.key
+
+
+@dataclass
+class RunReport:
+    """Outcome of one sweep: per-cell results plus cache accounting."""
+
+    results: List[CellResult] = field(default_factory=list)
+    cache_hits: int = 0
+    cache_misses: int = 0
+    jobs: int = 1
+    elapsed_s: float = 0.0
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.cache_hits + self.cache_misses
+        return self.cache_hits / total if total else 0.0
+
+    def by_experiment(self) -> Dict[str, List[CellResult]]:
+        out: Dict[str, List[CellResult]] = {}
+        for result in self.results:
+            out.setdefault(result.cell.experiment, []).append(result)
+        return out
+
+
+def execute_cell(cell: Cell) -> CellResult:
+    """Run one cell, timing it.  Top-level so pools can pickle it."""
+    start = time.perf_counter()
+    metrics = run_cell(cell)
+    return CellResult(cell=cell, metrics=metrics,
+                      wall_clock_s=time.perf_counter() - start)
+
+
+def _pool_context():
+    # fork inherits sys.path and loaded modules, which keeps workers
+    # cheap; fall back to the platform default (spawn) elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
+              cache: Optional[ResultCache] = None,
+              progress: Optional[Callable[[str], None]] = None) -> RunReport:
+    """Execute *cells*, serving from *cache* where possible.
+
+    ``jobs=None`` uses ``os.cpu_count()``.  Results come back sorted
+    by cell key regardless of execution order or cache state.
+    """
+    if jobs is None:
+        jobs = multiprocessing.cpu_count()
+    if jobs < 1:
+        raise ValueError(f"jobs must be >= 1, got {jobs}")
+    started = time.perf_counter()
+    report = RunReport(jobs=jobs)
+
+    pending: List[Cell] = []
+    for cell in cells:
+        payload = cache.get(cell.key) if cache is not None else None
+        if payload is not None:
+            report.cache_hits += 1
+            report.results.append(CellResult(
+                cell=cell, metrics=payload["metrics"],
+                wall_clock_s=payload.get("wall_clock_s", 0.0), cached=True))
+            if progress is not None:
+                progress(f"{cell.key}: cached")
+        else:
+            report.cache_misses += 1
+            pending.append(cell)
+
+    if len(pending) > 1 and jobs > 1:
+        ctx = _pool_context()
+        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
+            executed = []
+            for result in pool.imap(execute_cell, pending, chunksize=1):
+                executed.append(result)
+                if progress is not None:
+                    progress(f"{result.key}: {result.wall_clock_s:.2f}s")
+    else:
+        executed = []
+        for cell in pending:
+            result = execute_cell(cell)
+            executed.append(result)
+            if progress is not None:
+                progress(f"{result.key}: {result.wall_clock_s:.2f}s")
+
+    for result in executed:
+        if cache is not None:
+            cache.put(result.key, {"metrics": result.metrics,
+                                   "wall_clock_s": result.wall_clock_s})
+        report.results.append(result)
+
+    report.results.sort(key=lambda r: r.key)
+    report.elapsed_s = time.perf_counter() - started
+    return report

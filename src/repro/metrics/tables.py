@@ -72,6 +72,20 @@ class MetricTable:
     def rows(self) -> List[str]:
         return list(self._row_order)
 
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-friendly summary: per-cell mean and sample count.
+
+        Used by the experiment harness to embed aggregated tables in
+        its JSON artifacts alongside the raw per-cell metrics.
+        """
+        rows: Dict[str, Dict[str, Dict[str, float]]] = {}
+        for row in self._row_order:
+            rows[row] = {
+                column: {"mean": aggregate.mean, "count": aggregate.count}
+                for column, aggregate in self._cells[row].items()
+            }
+        return {"columns": list(self.columns), "rows": rows}
+
 
 def format_table(title: str, table: MetricTable,
                  ratios_for: Optional[Dict[str, str]] = None,

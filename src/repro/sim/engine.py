@@ -24,6 +24,22 @@ from typing import Any, Callable, List, Optional
 
 from repro.errors import SimulationError
 
+#: Most recently constructed Simulator in this process; see
+#: :func:`last_simulator`.
+_last_simulator: Optional["Simulator"] = None
+
+
+def last_simulator() -> Optional["Simulator"]:
+    """Return the most recently constructed :class:`Simulator`.
+
+    Every experiment builds exactly one simulator per run, but none of
+    the experiment entry points return it.  The harness uses this hook
+    to read :attr:`Simulator.events_processed` after a cell finishes,
+    without threading the engine through every experiment signature.
+    Only valid between one experiment's construction and the next.
+    """
+    return _last_simulator
+
 
 class Event:
     """A scheduled callback.
@@ -33,18 +49,26 @@ class Event:
     when popped (lazy deletion), which keeps cancellation O(1).
     """
 
-    __slots__ = ("time", "seq", "fn", "args", "cancelled")
+    __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
 
-    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple):
+    def __init__(self, time: float, seq: int, fn: Callable[..., Any], args: tuple,
+                 sim: Optional["Simulator"] = None):
         self.time = time
         self.seq = seq
         self.fn = fn
         self.args = args
         self.cancelled = False
+        # Back-reference for the owner's live-event counter; cleared
+        # once the event leaves the heap so late cancels stay no-ops.
+        self._sim = sim
 
     def cancel(self) -> None:
         """Mark the event so it will not fire."""
-        self.cancelled = True
+        if not self.cancelled:
+            self.cancelled = True
+            if self._sim is not None:
+                self._sim._live -= 1
+                self._sim = None
 
     def __lt__(self, other: "Event") -> bool:
         # heapq needs a total order; (time, seq) is unique per event.
@@ -70,8 +94,11 @@ class Simulator:
         self.now: float = 0.0
         self._heap: List[Event] = []
         self._seq: int = 0
+        self._live: int = 0
         self._events_processed: int = 0
         self._running = False
+        global _last_simulator
+        _last_simulator = self
 
     # ------------------------------------------------------------------
     # Scheduling
@@ -92,8 +119,9 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} before now={self.now:.6f}"
             )
-        event = Event(time, self._seq, fn, args)
+        event = Event(time, self._seq, fn, args, sim=self)
         self._seq += 1
+        self._live += 1
         heapq.heappush(self._heap, event)
         return event
 
@@ -105,7 +133,8 @@ class Simulator:
     # ------------------------------------------------------------------
     # Execution
     # ------------------------------------------------------------------
-    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> int:
+    def run(self, until: Optional[float] = None,
+            max_events: Optional[int] = None) -> int:
         """Process events until the heap drains or a bound is reached.
 
         ``until`` is an inclusive time horizon: events scheduled at
@@ -125,6 +154,8 @@ class Simulator:
                 if until is not None and event.time > until:
                     break
                 heapq.heappop(self._heap)
+                self._live -= 1
+                event._sim = None
                 if event.time < self.now:
                     raise SimulationError("event heap yielded an event in the past")
                 self.now = event.time
@@ -133,7 +164,8 @@ class Simulator:
                 self._events_processed += 1
                 if max_events is not None and processed >= max_events:
                     break
-            if until is not None and self.now < until and not self._has_pending_before(until):
+            if (until is not None and self.now < until
+                    and not self._has_pending_before(until)):
                 # Advance the clock to the horizon so back-to-back
                 # run(until=...) calls observe monotone time.
                 self.now = until
@@ -142,7 +174,13 @@ class Simulator:
         return processed
 
     def _has_pending_before(self, horizon: float) -> bool:
-        return any(not e.cancelled and e.time <= horizon for e in self._heap)
+        # Pruning cancelled events off the top keeps this O(1)
+        # amortised: each cancelled event is popped at most once over
+        # the simulator's lifetime.  Once the top is live it is the
+        # global minimum, so a single comparison answers the question.
+        while self._heap and self._heap[0].cancelled:
+            heapq.heappop(self._heap)
+        return bool(self._heap) and self._heap[0].time <= horizon
 
     # ------------------------------------------------------------------
     # Introspection
@@ -150,7 +188,7 @@ class Simulator:
     @property
     def pending_events(self) -> int:
         """Number of not-yet-cancelled events still in the heap."""
-        return sum(1 for e in self._heap if not e.cancelled)
+        return self._live
 
     @property
     def events_processed(self) -> int:

@@ -114,7 +114,8 @@ class TCPProtocol:
         applied to accepted connections.
         """
         if port in self.listeners:
-            raise ConfigurationError(f"port {port} already listening on {self.host.name}")
+            raise ConfigurationError(
+                f"port {port} already listening on {self.host.name}")
         listener = Listener(port, self._cc_factory(cc), on_accept, options)
         self.listeners[port] = listener
         return listener

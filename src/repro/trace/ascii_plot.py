@@ -105,7 +105,8 @@ class AsciiPlot:
                 prefix = f"{f'{v0:,.0f}':>12} |"
             lines.append(prefix + "".join(grid_row))
         lines.append(f"{'':>12} +" + "-" * self.width)
-        lines.append(f"{'':>14}{t0:<12.2f}{'time (s)':^{max(0, self.width - 24)}}{t1:>10.2f}")
+        lines.append(f"{'':>14}{t0:<12.2f}"
+                     f"{'time (s)':^{max(0, self.width - 24)}}{t1:>10.2f}")
         return "\n".join(lines)
 
 

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 from typing import List, Optional, Tuple
 
-from repro.trace.records import Kind, Record
+from repro.trace.records import Kind
 from repro.trace.tracer import ConnectionTracer
 
 Series = List[Tuple[float, float]]

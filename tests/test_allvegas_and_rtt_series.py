@@ -2,7 +2,6 @@
 
 from repro.experiments.allvegas import run_world
 from repro.trace import series as S
-from repro.trace.records import Kind
 from repro.trace.tracer import ConnectionTracer
 
 from helpers import make_pair, run_transfer

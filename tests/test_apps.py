@@ -9,7 +9,7 @@ from repro.apps.crosstraffic import CrossTrafficSource
 from repro.errors import ConfigurationError
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
-from repro.units import kbps, mbps, ms
+from repro.units import kbps, ms
 
 from helpers import make_pair
 

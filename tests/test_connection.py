@@ -3,12 +3,11 @@
 import pytest
 
 from repro.core.reno import RenoCC
-from repro.core.vegas import VegasCC
 from repro.errors import ProtocolError
 from repro.tcp.connection import State
 from repro.trace.records import Kind
 from repro.trace.tracer import ConnectionTracer
-from repro.units import kbps, mbps, ms
+from repro.units import kbps
 
 from helpers import make_pair, run_transfer
 

@@ -1,7 +1,5 @@
 """Edge-case tests for the connection state machine."""
 
-import pytest
-
 from repro.tcp.connection import State
 from repro.tcp.segment import FLAG_ACK, FLAG_SYN, TCPSegment
 

@@ -2,12 +2,10 @@
 
 import random
 
-import pytest
-
 from repro.apps.bulk import BulkSink, BulkTransfer
 from repro.core.reno import RenoCC
-from repro.net.red import REDQueue
 from repro.net.packet import Packet
+from repro.net.red import REDQueue
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
 from repro.tcp.protocol import TCPProtocol

@@ -5,7 +5,7 @@ import pytest
 from repro.core.newreno import NewRenoCC
 from repro.core.registry import make_cc
 from repro.core.reno import RenoCC
-from repro.core.vegas import SLOW_START, VegasCC
+from repro.core.vegas import VegasCC
 
 from fakes import FakeConnection
 from helpers import make_pair, run_transfer

@@ -1,0 +1,304 @@
+"""Tests for the parallel experiment harness.
+
+Covers the contracts the harness advertises: stable cell keys,
+bit-identical results regardless of job count, cache hit/miss and
+invalidation behaviour, artifact schema, and the regression checker's
+exit codes.
+"""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.harness import (
+    Cell,
+    ResultCache,
+    all_cells,
+    build_document,
+    cells_fingerprint,
+    cells_for,
+    compute_src_hash,
+    load_document,
+    run_cells,
+    write_document,
+)
+from repro.harness import check
+from repro.harness.aggregate import summarize
+from repro.harness.registry import EXPERIMENTS
+
+#: Cheap cells (sub-second solo transfers) for runner/cache tests.
+CHEAP_CELLS = [
+    Cell.make("sendbuf", cc="reno", size_kb=5, seed=0),
+    Cell.make("sendbuf", cc="vegas", size_kb=5, seed=0),
+    Cell.make("sendbuf", cc="reno", size_kb=10, seed=0),
+]
+
+
+class TestCellKeys:
+    def test_key_format_is_stable(self):
+        # The key format is a compatibility contract (cache + baselines);
+        # these exact strings must never change silently.
+        assert (Cell.make("table2", proto="reno", buffers=10, seed=0).key
+                == "table2/buffers=10/proto=reno/seed=0")
+        assert (Cell.make("table1", small="vegas", large="reno",
+                          buffers=15, delay=0.5, seed=3).key
+                == "table1/buffers=15/delay=0.5/large=reno/seed=3/small=vegas")
+        assert (Cell.make("fairness", cc="vegas", count=16, mixed=True,
+                          seed=0).key
+                == "fairness/cc=vegas/count=16/mixed=true/seed=0")
+
+    def test_key_independent_of_kwarg_order(self):
+        a = Cell.make("table2", proto="reno", buffers=10, seed=0)
+        b = Cell.make("table2", seed=0, buffers=10, proto="reno")
+        assert a == b and a.key == b.key
+
+    def test_float_formatting(self):
+        assert "delay=0" in Cell.make("table1", delay=0.0).key
+        assert "delay=2.5" in Cell.make("table1", delay=2.5).key
+
+    def test_cells_are_hashable_and_picklable(self):
+        import pickle
+
+        cell = CHEAP_CELLS[0]
+        assert pickle.loads(pickle.dumps(cell)) == cell
+        assert len({cell, cell}) == 1
+
+
+class TestRegistry:
+    def test_every_experiment_has_cells(self):
+        for quick in (True, False):
+            for experiment in EXPERIMENTS:
+                cells = cells_for(experiment, quick=quick)
+                assert cells, experiment
+                assert all(c.experiment == experiment for c in cells)
+
+    def test_all_cells_unique_keys(self):
+        for quick in (True, False):
+            cells = all_cells(quick=quick)
+            keys = [c.key for c in cells]
+            assert len(keys) == len(set(keys))
+
+    def test_quick_is_smaller(self):
+        assert len(all_cells(quick=True)) < len(all_cells(quick=False))
+
+    def test_experiment_subset(self):
+        cells = all_cells(quick=True, experiments=["telnet", "figure6"])
+        assert {c.experiment for c in cells} == {"telnet", "figure6"}
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(ReproError):
+            cells_for("table99")
+
+
+class TestRunner:
+    def test_jobs_do_not_change_results(self):
+        serial = run_cells(CHEAP_CELLS, jobs=1)
+        parallel = run_cells(CHEAP_CELLS, jobs=2)
+        assert [r.key for r in serial.results] == \
+               [r.key for r in parallel.results]
+        for a, b in zip(serial.results, parallel.results):
+            assert a.metrics == b.metrics
+
+    def test_results_sorted_by_key(self):
+        report = run_cells(list(reversed(CHEAP_CELLS)), jobs=1)
+        keys = [r.key for r in report.results]
+        assert keys == sorted(keys)
+
+    def test_metrics_include_events_processed(self):
+        report = run_cells(CHEAP_CELLS[:1], jobs=1)
+        assert report.results[0].metrics["events_processed"] > 0
+
+    def test_jobs_must_be_positive(self):
+        with pytest.raises(ValueError):
+            run_cells(CHEAP_CELLS[:1], jobs=0)
+
+
+class TestCache:
+    def test_miss_then_hit(self, tmp_path):
+        cache = ResultCache(tmp_path, "hash-a")
+        assert cache.get("some/key") is None
+        cache.put("some/key", {"metrics": {"x": 1.0}, "wall_clock_s": 0.1})
+        payload = cache.get("some/key")
+        assert payload["metrics"] == {"x": 1.0}
+        assert payload["key"] == "some/key"
+
+    def test_source_hash_partitions_entries(self, tmp_path):
+        before = ResultCache(tmp_path, "hash-a")
+        before.put("k", {"metrics": {"x": 1.0}})
+        after = ResultCache(tmp_path, "hash-b")
+        assert after.get("k") is None
+        assert before.get("k") is not None  # old namespace intact
+
+    def test_runner_integration(self, tmp_path):
+        cache = ResultCache(tmp_path, "h")
+        cold = run_cells(CHEAP_CELLS, jobs=1, cache=cache)
+        assert cold.cache_hits == 0
+        assert cold.cache_misses == len(CHEAP_CELLS)
+        warm = run_cells(CHEAP_CELLS, jobs=1, cache=cache)
+        assert warm.cache_misses == 0
+        assert warm.cache_hits == len(CHEAP_CELLS)
+        assert warm.hit_rate == 1.0
+        for a, b in zip(cold.results, warm.results):
+            assert a.metrics == b.metrics
+            assert b.cached
+
+    def test_compute_src_hash_changes_on_edit(self, tmp_path):
+        (tmp_path / "pkg").mkdir()
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        original = compute_src_hash(tmp_path)
+        assert compute_src_hash(tmp_path) == original  # stable
+        (tmp_path / "pkg" / "a.py").write_text("x = 2\n")
+        assert compute_src_hash(tmp_path) != original
+        (tmp_path / "pkg" / "a.py").write_text("x = 1\n")
+        (tmp_path / "pkg" / "b.py").write_text("")
+        assert compute_src_hash(tmp_path) != original  # new file counts
+
+    def test_corrupt_entry_is_a_miss(self, tmp_path):
+        cache = ResultCache(tmp_path, "h")
+        cache.put("k", {"metrics": {}})
+        for entry in tmp_path.rglob("*.json"):
+            entry.write_text("{not json")
+        assert cache.get("k") is None
+
+
+def _document(metric=100.0, key_suffix=""):
+    """A minimal one-cell artifact for checker tests."""
+    return {
+        "schema_version": "repro-harness/v1",
+        "mode": "quick",
+        "src_hash": "x",
+        "run": {"jobs": 1, "cache_hits": 0, "cache_misses": 1,
+                "cells": 1, "elapsed_s": 0.0, "cell_wall_clock_s": 0.0},
+        "cells": [{
+            "key": f"sendbuf/cc=reno/seed=0/size_kb=5{key_suffix}",
+            "experiment": "sendbuf",
+            "params": {"cc": "reno", "seed": 0, "size_kb": 5},
+            "metrics": {"throughput_kbps": metric, "coarse_timeouts": 0},
+            "wall_clock_s": 0.1,
+            "cached": False,
+        }],
+    }
+
+
+class TestArtifacts:
+    def test_roundtrip(self, tmp_path):
+        path = tmp_path / "doc.json"
+        doc = _document()
+        write_document(str(path), doc)
+        assert load_document(str(path)) == doc
+
+    def test_load_rejects_wrong_schema(self, tmp_path):
+        path = tmp_path / "doc.json"
+        doc = _document()
+        doc["schema_version"] = "repro-harness/v999"
+        path.write_text(json.dumps(doc))
+        with pytest.raises(ReproError):
+            load_document(str(path))
+
+    def test_fingerprint_ignores_bookkeeping(self):
+        a, b = _document(), _document()
+        b["cells"][0]["wall_clock_s"] = 99.0
+        b["cells"][0]["cached"] = True
+        b["run"]["jobs"] = 8
+        assert cells_fingerprint(a) == cells_fingerprint(b)
+        b["cells"][0]["metrics"]["throughput_kbps"] += 1.0
+        assert cells_fingerprint(a) != cells_fingerprint(b)
+
+    def test_build_document_from_report(self):
+        report = run_cells(CHEAP_CELLS[:1], jobs=1)
+        doc = build_document(report, mode="quick", src_hash="abc")
+        assert doc["schema_version"] == "repro-harness/v1"
+        assert doc["src_hash"] == "abc"
+        assert doc["run"]["cells"] == 1
+        cell = doc["cells"][0]
+        assert cell["key"] == CHEAP_CELLS[0].key
+        assert cell["params"] == {"cc": "reno", "seed": 0, "size_kb": 5}
+        assert cell["metrics"]["throughput_kbps"] > 0
+
+
+class TestCheck:
+    def _write(self, tmp_path, name, doc):
+        path = tmp_path / name
+        path.write_text(json.dumps(doc))
+        return str(path)
+
+    def test_identical_documents_pass(self, tmp_path, capsys):
+        results = self._write(tmp_path, "r.json", _document())
+        expected = self._write(tmp_path, "e.json", _document())
+        assert check.main([results, expected]) == 0
+        assert "OK" in capsys.readouterr().out
+
+    def test_within_tolerance_passes(self, tmp_path):
+        results = self._write(tmp_path, "r.json", _document(metric=110.0))
+        expected = self._write(tmp_path, "e.json", _document(metric=100.0))
+        assert check.main([results, expected, "--tolerance", "0.15"]) == 0
+
+    def test_drift_fails(self, tmp_path, capsys):
+        results = self._write(tmp_path, "r.json", _document(metric=130.0))
+        expected = self._write(tmp_path, "e.json", _document(metric=100.0))
+        assert check.main([results, expected, "--tolerance", "0.15"]) == 1
+        assert "throughput_kbps" in capsys.readouterr().out
+
+    def test_missing_cell_fails(self, tmp_path, capsys):
+        doc = _document()
+        doc["cells"] = []
+        results = self._write(tmp_path, "r.json", doc)
+        expected = self._write(tmp_path, "e.json", _document())
+        assert check.main([results, expected]) == 1
+        assert "missing cell" in capsys.readouterr().out
+
+    def test_extra_cell_is_noted_but_passes(self, tmp_path, capsys):
+        extra = _document()
+        extra["cells"].append(dict(extra["cells"][0],
+                                   key="sendbuf/cc=reno/seed=0/size_kb=99"))
+        results = self._write(tmp_path, "r.json", extra)
+        expected = self._write(tmp_path, "e.json", _document())
+        assert check.main([results, expected]) == 0
+        assert "not in baseline" in capsys.readouterr().out
+
+    def test_unreadable_input_exits_2(self, tmp_path):
+        expected = self._write(tmp_path, "e.json", _document())
+        assert check.main([str(tmp_path / "absent.json"), expected]) == 2
+
+    def test_near_zero_metrics_use_absolute_floor(self):
+        # 0 expected timeouts vs 0 actual passes; vs 2 actual fails.
+        assert check._within(0, 0, 0.15)
+        assert not check._within(2, 0, 0.15)
+
+
+class TestAggregate:
+    def test_summarize_renders_each_experiment(self):
+        report = run_cells(CHEAP_CELLS, jobs=1)
+        doc = build_document(report, mode="quick", src_hash="x")
+        text = summarize(doc["cells"])
+        assert "send-buffer sweep" in text
+        assert "Reno KB/s" in text
+
+    def test_unknown_experiment_does_not_crash(self):
+        cells = [{"key": "mystery/seed=0", "experiment": "mystery",
+                  "params": {"seed": 0}, "metrics": {"x": 1.0}}]
+        assert "mystery" in summarize(cells)
+
+
+class TestCliRunAll:
+    def test_run_all_smoke(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out_json = tmp_path / "results.json"
+        assert main(["run-all", "--quick", "--experiments", "sendbuf",
+                     "--jobs", "1", "--json", str(out_json),
+                     "--cache-dir", str(tmp_path / "cache")]) == 0
+        captured = capsys.readouterr()
+        assert "send-buffer sweep" in captured.out
+        assert "cell fingerprint:" in captured.out
+        doc = load_document(str(out_json))
+        assert doc["mode"] == "quick"
+        assert all(c["experiment"] == "sendbuf" for c in doc["cells"])
+
+    def test_list_mentions_run_all(self, capsys):
+        from repro.cli import main
+
+        assert main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "run-all" in out and "telnet" in out

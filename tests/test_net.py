@@ -5,7 +5,6 @@ from hypothesis import given, strategies as st
 
 from repro.errors import ConfigurationError, RoutingError
 from repro.net.addresses import FlowId
-from repro.net.link import EthernetLan, PointToPointLink
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.net.topology import Topology

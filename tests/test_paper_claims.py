@@ -13,7 +13,6 @@ from repro.experiments.fairness_exp import run_competing_connections
 from repro.experiments.internet import run_internet_transfer
 from repro.experiments.one_on_one import run_one_on_one
 from repro.experiments.traces import figure6, figure7
-from repro.experiments.transfers import run_solo_transfer
 from repro.trace import series as S
 from repro.units import kb
 

@@ -1,14 +1,13 @@
 """Tests for the §3.2 prior delay-based schemes: DUAL, CARD, Tri-S."""
 
+import pytest
+
 from repro.core.card import CardCC
 from repro.core.dual import DualCC
 from repro.core.registry import available, cc_factory, make_cc, register
 from repro.core.reno import RenoCC
 from repro.core.tris import TriSCC
-from repro.core.vegas import VegasCC
 from repro.errors import ConfigurationError
-
-import pytest
 
 from fakes import FakeConnection
 from helpers import make_pair, run_transfer

@@ -1,10 +1,9 @@
 """Tests for RNG streams, distributions, and unit helpers."""
 
-import math
-
 import pytest
 from hypothesis import given, strategies as st
 
+from repro import units
 from repro.sim.rng import (
     RngRegistry,
     bounded_geometric,
@@ -13,7 +12,6 @@ from repro.sim.rng import (
     lognormal_bytes,
     weighted_choice,
 )
-from repro import units
 
 
 class TestRngRegistry:

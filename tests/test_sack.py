@@ -4,9 +4,9 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.core.registry import make_cc
-from repro.core.sack import SackRenoCC, SackVegasCC
+from repro.core.sack import SackVegasCC
 from repro.tcp.sack import SackScoreboard
-from repro.tcp.segment import MAX_SACK_BLOCKS, TCPSegment, FLAG_ACK
+from repro.tcp.segment import FLAG_ACK, MAX_SACK_BLOCKS, TCPSegment
 
 from helpers import make_pair
 

@@ -4,15 +4,15 @@ import pytest
 
 from repro.net.queue import DropTailQueue
 from repro.trace import series as S
-from repro.trace.graphs import build_trace_graph
-from repro.trace.records import Kind, Record
-from repro.trace.tracer import ConnectionTracer, RouterTracer
 from repro.trace.ascii_plot import (
     AsciiPlot,
     render_cam_panel,
     render_rate_panel,
     render_windows_panel,
 )
+from repro.trace.graphs import build_trace_graph
+from repro.trace.records import Kind, Record
+from repro.trace.tracer import ConnectionTracer, RouterTracer
 
 from helpers import make_pair, run_transfer
 

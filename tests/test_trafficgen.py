@@ -2,8 +2,6 @@
 
 import random
 
-import pytest
-
 from repro.core.reno import RenoCC
 from repro.sim.rng import RngRegistry
 from repro.trafficgen import distributions as D

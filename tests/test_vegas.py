@@ -346,7 +346,8 @@ class TestModifiedSlowStart:
         before = cc.cwnd
         conn.send(cc)
         conn.ack(cc, conn.mss, rtt=0.1)
-        assert cc.cwnd == before or cc.ss_grow  # growth resumes only after a valid epoch
+        # Growth resumes only after a valid epoch.
+        assert cc.cwnd == before or cc.ss_grow
 
     def test_reno_ssthresh_exit_still_applies(self):
         conn, cc = attached()
