@@ -1,0 +1,62 @@
+"""Process-wide activation of the runtime invariant checker.
+
+The checker is wired into components at *construction* time: while a
+checker is active, every newly built simulator, queue, channel and TCP
+connection registers itself with it and keeps a direct reference, so
+the hot paths pay a single ``is not None`` test when checking is off.
+
+This module deliberately imports nothing from the rest of the package
+(beyond the standard library) so that ``sim.engine``, ``net.queue``,
+``net.link`` and ``tcp.connection`` can consult it without creating
+import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+_active = None
+
+
+def active():
+    """The currently active checker, or ``None``."""
+    return _active
+
+
+def activate(checker) -> None:
+    """Install *checker* as the process-wide active checker."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("an invariant checker is already active")
+    _active = checker
+
+
+def deactivate() -> None:
+    """Remove the active checker (idempotent)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def checking(checker: Optional[object] = None, mode: str = "raise"):
+    """Context manager: run a block with an active checker.
+
+    ::
+
+        with checking() as chk:
+            run_experiment()
+        assert not chk.violations
+
+    A fresh :class:`~repro.checks.checker.InvariantChecker` is built
+    unless one is passed in.
+    """
+    if checker is None:
+        from repro.checks.checker import InvariantChecker
+
+        checker = InvariantChecker(mode=mode)
+    activate(checker)
+    try:
+        yield checker
+    finally:
+        deactivate()

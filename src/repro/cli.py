@@ -241,6 +241,11 @@ def _cmd_run_all(args) -> int:
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
         return 2
+    try:
+        faults = registry.resolve_faults(args.faults)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
 
     src_hash = cache_mod.compute_src_hash()
     cache = None
@@ -256,7 +261,8 @@ def _cmd_run_all(args) -> int:
         print(f"[{done[0]}/{total}] {line}", file=sys.stderr)
 
     report = runner.run_cells(cells, jobs=args.jobs, cache=cache,
-                              progress=progress)
+                              progress=progress, checks=args.checks,
+                              faults=faults)
     doc = artifacts.build_document(
         report, mode="quick" if args.quick else "full", src_hash=src_hash)
     if args.json:
@@ -269,6 +275,12 @@ def _cmd_run_all(args) -> int:
           f"(cell wall clock {doc['run']['cell_wall_clock_s']:.1f}s); "
           f"cache: {report.cache_hits} hits / {report.cache_misses} misses")
     print(f"cell fingerprint: {artifacts.cells_fingerprint(doc)}")
+    if args.checks:
+        violations = sum(int(r.metrics.get("invariant_violations", 0.0))
+                         for r in report.results)
+        print(f"invariant violations: {violations}")
+        if violations:
+            return 1
     if args.json:
         print(f"JSON artifact: {args.json}")
     return 0
@@ -329,6 +341,16 @@ def build_parser() -> argparse.ArgumentParser:
     run_all.add_argument("--cache-dir", metavar="DIR", default=None,
                          help="cache location (default: $REPRO_CACHE_DIR "
                               "or .repro-cache)")
+    run_all.add_argument("--checks", nargs="?", const="raise",
+                         choices=("raise", "collect"), default=False,
+                         help="run with the runtime invariant checker "
+                              "('raise' aborts a cell on the first "
+                              "violation; 'collect' records them as the "
+                              "invariant_violations metric)")
+    run_all.add_argument("--faults", metavar="SPEC", default=None,
+                         help="inject faults: a profile name "
+                              "(light/heavy/flap) or 'drop=0.01,dup=...' "
+                              "(see repro.faults.FaultPlan.parse)")
     run_all.set_defaults(fn=_cmd_run_all)
 
     parser.set_defaults(_subcommands=tuple(sub.choices))

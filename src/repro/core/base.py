@@ -113,14 +113,22 @@ class CongestionControl:
     def _set_cwnd(self, value: int, now: float) -> None:
         value = int(value)
         if value != self.cwnd:
+            old = self.cwnd
             self.cwnd = value
             self._trace_cwnd(now)
+            checker = getattr(self.conn, "_checker", None)
+            if checker is not None:
+                checker.on_cwnd(self, old, value, now)
 
     def _set_ssthresh(self, value: int, now: float) -> None:
         value = int(value)
         if value != self.ssthresh:
+            old = self.ssthresh
             self.ssthresh = value
             self._trace_ssthresh(now)
+            checker = getattr(self.conn, "_checker", None)
+            if checker is not None:
+                checker.on_ssthresh(self, old, value, now)
 
     def half_window(self) -> int:
         """BSD's loss threshold: half of min(cwnd, peer window), floored

@@ -23,6 +23,7 @@ from typing import Optional
 
 from repro.core.epoch import RttEpochMixin
 from repro.core.reno import RenoCC
+from repro.tcp import constants as C
 
 
 class CardCC(RttEpochMixin, RenoCC):
@@ -62,6 +63,6 @@ class CardCC(RttEpochMixin, RenoCC):
                 self._set_cwnd(max(2 * mss, (reduced // mss) * mss), now)
             else:
                 self.gradient_increases += 1
-                self._set_cwnd(self.cwnd + mss, now)
+                self._set_cwnd(min(C.MAX_CWND, self.cwnd + mss), now)
         self._prev_window = self.cwnd
         self._prev_rtt = rtt_sample

@@ -89,6 +89,9 @@ class RenoCC(CongestionControl):
     # Coarse timeout
     # ------------------------------------------------------------------
     def on_coarse_timeout(self, now: float) -> None:
-        self._set_ssthresh(self.half_window(), now)
+        # End any recovery before cutting: the timeout is a fresh loss
+        # epoch, and keeping every ssthresh decrease outside recovery
+        # is the invariant the runtime checker audits.
         self.in_recovery = False
+        self._set_ssthresh(self.half_window(), now)
         self._set_cwnd(self.conn.mss, now)

@@ -20,6 +20,7 @@ from typing import Dict, Optional
 
 from repro.core.epoch import RttEpochMixin
 from repro.core.reno import RenoCC
+from repro.tcp import constants as C
 
 
 class TriSCC(RttEpochMixin, RenoCC):
@@ -65,4 +66,4 @@ class TriSCC(RttEpochMixin, RenoCC):
                 self._set_cwnd(max(2 * mss, self.cwnd - mss), now)
                 return
         self.slope_increases += 1
-        self._set_cwnd(self.cwnd + mss, now)
+        self._set_cwnd(min(C.MAX_CWND, self.cwnd + mss), now)

@@ -286,6 +286,9 @@ class VegasCC(CongestionControl):
             action = -1
         else:
             action = 0
+        checker = getattr(self.conn, "_checker", None)
+        if checker is not None:
+            checker.on_cam_decision(self, diff_buffers, action, now)
         self.conn.tracer.record(now, Kind.CAM_DECISION,
                                 diff_buffers * 1000.0, action)
 
@@ -367,8 +370,11 @@ class VegasCC(CongestionControl):
     # Coarse timeout: fall back to Reno behaviour
     # ------------------------------------------------------------------
     def on_coarse_timeout(self, now: float) -> None:
-        self._set_ssthresh(self.half_window(), now)
+        # A timeout opens a new loss epoch: recovery (if any) ends
+        # before the window is cut, so every ssthresh decrease happens
+        # outside recovery (the invariant the runtime checker audits).
         self.in_recovery = False
+        self._set_ssthresh(self.half_window(), now)
         self._set_cwnd(self.conn.mss, now)
         self.mode = SLOW_START
         self.ss_grow = True

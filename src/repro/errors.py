@@ -21,6 +21,31 @@ class SimulationError(ReproError):
     """The simulation reached an internally inconsistent state."""
 
 
+class InvariantViolation(SimulationError):
+    """A runtime invariant check failed.
+
+    Raised (or collected) by :class:`repro.checks.InvariantChecker`.
+    Carries enough structure to locate the failure without a debugger:
+    the invariant's name, the simulated time, the subject component
+    (queue/channel/connection label) and, where applicable, the flow.
+    """
+
+    def __init__(self, invariant: str, sim_time: float, subject: str = "",
+                 flow: object = None, detail: str = ""):
+        self.invariant = invariant
+        self.sim_time = sim_time
+        self.subject = subject
+        self.flow = flow
+        self.detail = detail
+        where = subject or (str(flow) if flow is not None else "?")
+        message = f"[t={sim_time:.6f}] {invariant} violated at {where}"
+        if flow is not None and subject:
+            message += f" (flow {flow})"
+        if detail:
+            message += f": {detail}"
+        super().__init__(message)
+
+
 class RoutingError(ReproError):
     """A packet could not be routed to its destination."""
 

@@ -1,0 +1,79 @@
+"""Process-wide activation of a fault plan.
+
+Mirrors :mod:`repro.checks.runtime`: while a :class:`FaultSession` is
+active, every newly built channel whose name matches the plan's target
+filter attaches a :class:`~repro.faults.injector.ChannelFaults`.  The
+session keeps the injectors so the harness can total their counters
+after a run.
+
+This module imports only :mod:`repro.faults.plan` (which has no
+networking dependencies), so ``net.link`` can consult it without
+import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Dict, List, Optional, Union
+
+from repro.faults.plan import FaultPlan
+
+_active: Optional["FaultSession"] = None
+
+
+class FaultSession:
+    """One activation of a plan: the plan plus its live injectors."""
+
+    def __init__(self, plan: FaultPlan):
+        self.plan = plan
+        self.injectors: List[object] = []
+
+    def attach(self, channel) -> Optional[object]:
+        """Attach an injector to *channel* if the plan targets it."""
+        if self.plan.is_null() or not self.plan.matches(channel.name):
+            return None
+        from repro.faults.injector import ChannelFaults
+
+        injector = ChannelFaults(self.plan, channel)
+        self.injectors.append(injector)
+        return injector
+
+    def totals(self) -> Dict[str, int]:
+        """Summed fault counters across every attached channel."""
+        totals: Dict[str, int] = {}
+        for injector in self.injectors:
+            for key, value in injector.counters().items():
+                totals[key] = totals.get(key, 0) + value
+        return totals
+
+
+def active() -> Optional[FaultSession]:
+    """The active fault session, or ``None``."""
+    return _active
+
+
+def activate(plan: Union[FaultPlan, str]) -> FaultSession:
+    """Activate *plan* (a FaultPlan or spec string) process-wide."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("a fault plan is already active")
+    if isinstance(plan, str):
+        plan = FaultPlan.parse(plan)
+    _active = FaultSession(plan)
+    return _active
+
+
+def deactivate() -> None:
+    """Remove the active fault session (idempotent)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def injecting(plan: Union[FaultPlan, str]):
+    """Context manager: run a block with *plan* active."""
+    session = activate(plan)
+    try:
+        yield session
+    finally:
+        deactivate()

@@ -21,7 +21,7 @@ import hashlib
 import json
 import os
 from pathlib import Path
-from typing import Any, Dict, Optional, Union
+from typing import Any, Dict, Iterable, Optional, Union
 
 #: Default cache location, relative to the working directory.
 DEFAULT_CACHE_DIR = ".repro-cache"
@@ -35,24 +35,43 @@ def default_cache_dir() -> str:
     return os.environ.get(CACHE_DIR_ENV, DEFAULT_CACHE_DIR)
 
 
-def compute_src_hash(root: Optional[Union[str, Path]] = None) -> str:
+def compute_src_hash(root: Optional[Union[str, Path]] = None,
+                     extra_files: Optional[Iterable[Union[str, Path]]] = None,
+                     ) -> str:
     """Content hash of every ``*.py`` file under *root*.
 
     Defaults to the installed ``repro`` package directory, so any
     source edit — simulator, experiments, harness itself — invalidates
     the cache.  Files are folded in sorted-relative-path order for a
     stable digest.
+
+    *extra_files* are support files folded in after the tree (missing
+    ones are skipped).  When *root* defaults, the project's
+    ``pyproject.toml`` is folded in automatically: tool configuration
+    (pinned options, pytest/ruff settings, dependency pins) can change
+    behaviour without touching any ``*.py`` file, and a stale cache
+    must not survive that.
     """
     if root is None:
         import repro
 
         root = Path(repro.__file__).parent
+        if extra_files is None:
+            # src/repro/__init__.py -> repo root / pyproject.toml
+            extra_files = [root.parents[1] / "pyproject.toml"]
     root = Path(root)
     digest = hashlib.sha256()
     for path in sorted(root.rglob("*.py")):
         digest.update(str(path.relative_to(root)).encode())
         digest.update(b"\0")
         digest.update(path.read_bytes())
+        digest.update(b"\0")
+    for extra in sorted(Path(p) for p in (extra_files or ())):
+        if not extra.is_file():
+            continue
+        digest.update(extra.name.encode())
+        digest.update(b"\0")
+        digest.update(extra.read_bytes())
         digest.update(b"\0")
     return digest.hexdigest()
 

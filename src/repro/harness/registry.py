@@ -359,12 +359,37 @@ def all_cells(quick: bool = False,
     return cells
 
 
-def run_cell(cell: Cell) -> Dict[str, float]:
+def resolve_faults(faults: Any):
+    """Normalise a faults argument to a FaultPlan (or None).
+
+    Accepts ``None``, a spec/profile string, or a ``FaultPlan``; a
+    plan that injects nothing collapses to ``None`` so clean runs stay
+    on the clean cache namespace.
+    """
+    if faults is None:
+        return None
+    from repro.faults.plan import FaultPlan
+
+    plan = faults if isinstance(faults, FaultPlan) else FaultPlan.parse(faults)
+    return None if plan.is_null() else plan
+
+
+def run_cell(cell: Cell, checks: Any = False,
+             faults: Any = None) -> Dict[str, float]:
     """Execute one cell and return its metrics.
 
     Adds ``events_processed`` (from the cell's simulator, via
     :func:`repro.sim.engine.last_simulator`) to whatever the
     experiment runner reports.
+
+    ``checks`` enables the runtime invariant checker for the run:
+    truthy for fail-fast (``"raise"``), or ``"collect"`` to record
+    violations and report their count as the ``invariant_violations``
+    metric.  ``faults`` composes a fault plan (spec string, profile
+    name, or :class:`~repro.faults.plan.FaultPlan`) onto the cell's
+    topology; the injector's summed counters join the metrics.  The
+    checker's audits schedule nothing, so ``checks`` alone never
+    changes ``events_processed``.
     """
     from repro.sim import engine
 
@@ -372,9 +397,48 @@ def run_cell(cell: Cell) -> Dict[str, float]:
         runner = _RUNNERS[cell.experiment]
     except KeyError:
         raise ReproError(f"no runner for experiment {cell.experiment!r}") from None
+
+    checker = None
+    if checks:
+        from repro.checks.checker import InvariantChecker
+
+        mode = "collect" if checks == "collect" else "raise"
+        checker = InvariantChecker(mode=mode)
+    plan = resolve_faults(faults)
+
     engine._last_simulator = None
-    metrics = runner(**cell.as_dict())
+    session = None
+    try:
+        if checker is not None:
+            from repro.checks import runtime as checks_runtime
+
+            checks_runtime.activate(checker)
+        if plan is not None:
+            from repro.faults import runtime as faults_runtime
+
+            session = faults_runtime.activate(plan)
+        metrics = runner(**cell.as_dict())
+    finally:
+        if plan is not None:
+            from repro.faults import runtime as faults_runtime
+
+            faults_runtime.deactivate()
+        if checker is not None:
+            from repro.checks import runtime as checks_runtime
+
+            checks_runtime.deactivate()
     sim = engine.last_simulator()
     if sim is not None:
         metrics[EVENTS_METRIC] = sim.events_processed
+    if checker is not None:
+        metrics["invariant_violations"] = float(len(checker.violations))
+        if checker.violations:
+            import sys
+
+            for violation in checker.violations[:10]:
+                print(f"invariant violation in {cell.key}: {violation}",
+                      file=sys.stderr)
+    if session is not None:
+        for name, value in sorted(session.totals().items()):
+            metrics[f"fault_{name}"] = float(value)
     return metrics

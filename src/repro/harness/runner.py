@@ -10,13 +10,14 @@ metrics, and a populated cache short-circuits execution entirely.
 
 from __future__ import annotations
 
+import functools
 import multiprocessing
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Sequence
+from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.harness.cache import ResultCache
-from repro.harness.registry import Cell, run_cell
+from repro.harness.registry import Cell, resolve_faults, run_cell
 
 
 @dataclass
@@ -55,12 +56,31 @@ class RunReport:
         return out
 
 
-def execute_cell(cell: Cell) -> CellResult:
+def execute_cell(cell: Cell, checks: Any = False,
+                 faults: Any = None) -> CellResult:
     """Run one cell, timing it.  Top-level so pools can pickle it."""
     start = time.perf_counter()
-    metrics = run_cell(cell)
+    metrics = run_cell(cell, checks=checks, faults=faults)
     return CellResult(cell=cell, metrics=metrics,
                       wall_clock_s=time.perf_counter() - start)
+
+
+def storage_key(cell_key: str, checks: Any = False,
+                faults: Any = None) -> str:
+    """Cache key for one cell under a checks/faults configuration.
+
+    Checked and faulted runs report extra metrics (and faulted runs
+    produce entirely different dynamics), so each configuration gets
+    its own namespace suffix; plain runs keep the bare cell key for
+    compatibility with existing caches and baselines.
+    """
+    key = cell_key
+    if checks:
+        key += "#checks=collect" if checks == "collect" else "#checks"
+    plan = resolve_faults(faults)
+    if plan is not None:
+        key += f"#faults={plan.describe()}"
+    return key
 
 
 def _pool_context():
@@ -74,11 +94,17 @@ def _pool_context():
 
 def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
-              progress: Optional[Callable[[str], None]] = None) -> RunReport:
+              progress: Optional[Callable[[str], None]] = None,
+              checks: Any = False, faults: Any = None) -> RunReport:
     """Execute *cells*, serving from *cache* where possible.
 
     ``jobs=None`` uses ``os.cpu_count()``.  Results come back sorted
     by cell key regardless of execution order or cache state.
+    ``checks``/``faults`` are forwarded to every
+    :func:`~repro.harness.registry.run_cell`; cached entries are
+    looked up under a per-configuration namespace (see
+    :func:`storage_key`) so a checked or faulted sweep never serves a
+    plain run's results.
     """
     if jobs is None:
         jobs = multiprocessing.cpu_count()
@@ -86,10 +112,13 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     started = time.perf_counter()
     report = RunReport(jobs=jobs)
+    faults = resolve_faults(faults)
+    execute = functools.partial(execute_cell, checks=checks, faults=faults)
 
     pending: List[Cell] = []
     for cell in cells:
-        payload = cache.get(cell.key) if cache is not None else None
+        cache_key = storage_key(cell.key, checks=checks, faults=faults)
+        payload = cache.get(cache_key) if cache is not None else None
         if payload is not None:
             report.cache_hits += 1
             report.results.append(CellResult(
@@ -105,22 +134,23 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
         ctx = _pool_context()
         with ctx.Pool(processes=min(jobs, len(pending))) as pool:
             executed = []
-            for result in pool.imap(execute_cell, pending, chunksize=1):
+            for result in pool.imap(execute, pending, chunksize=1):
                 executed.append(result)
                 if progress is not None:
                     progress(f"{result.key}: {result.wall_clock_s:.2f}s")
     else:
         executed = []
         for cell in pending:
-            result = execute_cell(cell)
+            result = execute(cell)
             executed.append(result)
             if progress is not None:
                 progress(f"{result.key}: {result.wall_clock_s:.2f}s")
 
     for result in executed:
         if cache is not None:
-            cache.put(result.key, {"metrics": result.metrics,
-                                   "wall_clock_s": result.wall_clock_s})
+            cache.put(storage_key(result.key, checks=checks, faults=faults),
+                      {"metrics": result.metrics,
+                       "wall_clock_s": result.wall_clock_s})
         report.results.append(result)
 
     report.results.sort(key=lambda r: r.key)

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, List, Optional
 
+from repro.checks import runtime as checks_runtime
 from repro.errors import ConfigurationError
+from repro.faults import runtime as faults_runtime
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.sim.engine import Simulator
@@ -52,6 +54,16 @@ class Channel:
         self._busy = False
         self.bytes_delivered = 0
         self.packets_delivered = 0
+        #: Packets dequeued but not yet delivered (serialising,
+        #: propagating, or parked by an injected fault).
+        self.in_transit = 0
+        # Fault injection and invariant checking attach here when the
+        # corresponding runtime is active at construction time.
+        session = faults_runtime.active()
+        self.faults = session.attach(self) if session is not None else None
+        checker = checks_runtime.active()
+        if checker is not None:
+            checker.register_channel(self)
 
     def send(self, packet: Packet) -> bool:
         """Offer *packet* to the egress queue; start draining if idle.
@@ -69,6 +81,7 @@ class Channel:
             self._busy = False
             return
         self._busy = True
+        self.in_transit += 1
         tx_time = packet.size / self.bandwidth
         self.sim.schedule(tx_time, self._tx_done, packet)
 
@@ -79,10 +92,29 @@ class Channel:
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
+        if self.faults is not None:
+            self.faults.process(packet)
+        else:
+            self.deliver_now(packet)
+
+    def deliver_now(self, packet: Packet) -> None:
+        """Hand *packet* to the destination (the clean-path delivery)."""
+        self.in_transit -= 1
         self.bytes_delivered += packet.size
         self.packets_delivered += 1
         if self.dst is not None:
             self.dst.receive(packet)
+
+    def deliver_extra(self, packet: Packet) -> None:
+        """Deliver a duplicate of an already-delivered packet."""
+        self.bytes_delivered += packet.size
+        self.packets_delivered += 1
+        if self.dst is not None:
+            self.dst.receive(packet)
+
+    def note_fault_drop(self, packet: Packet) -> None:
+        """Account for a packet an injected fault destroyed in flight."""
+        self.in_transit -= 1
 
     @property
     def utilization_bytes(self) -> int:
@@ -184,6 +216,11 @@ class EthernetLan:
         self._busy = False
         self._dst_by_uid = {}
         self.bytes_delivered = 0
+        self.packets_delivered = 0
+        self.in_transit = 0
+        checker = checks_runtime.active()
+        if checker is not None:
+            checker.register_lan(self)
 
     def attach(self, node: "Node") -> None:
         """Connect *node* to this LAN."""
@@ -196,7 +233,10 @@ class EthernetLan:
         if dst_node not in self.nodes:
             raise ConfigurationError(
                 f"{dst_node.name} is not attached to {self.name}")
-        self._dst_by_uid[packet.uid] = dst_node
+        # One pending entry per transmission, not per uid: a duplicated
+        # packet (same uid, injected twice) must reach its destination
+        # both times rather than vanish on the second delivery.
+        self._dst_by_uid.setdefault(packet.uid, []).append(dst_node)
         self.queue.offer(packet, self.sim.now)
         if not self._busy:
             self._transmit_next()
@@ -208,6 +248,7 @@ class EthernetLan:
             self._busy = False
             return
         self._busy = True
+        self.in_transit += 1
         tx_time = packet.size / self.bandwidth
         self.sim.schedule(tx_time, self._tx_done, packet)
 
@@ -216,7 +257,14 @@ class EthernetLan:
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
-        dst = self._dst_by_uid.pop(packet.uid, None)
+        pending = self._dst_by_uid.get(packet.uid)
+        dst = None
+        if pending:
+            dst = pending.pop(0)
+            if not pending:
+                del self._dst_by_uid[packet.uid]
+        self.in_transit -= 1
         self.bytes_delivered += packet.size
+        self.packets_delivered += 1
         if dst is not None:
             dst.receive(packet)

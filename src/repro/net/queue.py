@@ -15,6 +15,7 @@ from __future__ import annotations
 from collections import deque
 from typing import Callable, Deque, List, Optional, Tuple
 
+from repro.checks import runtime as checks_runtime
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
 
@@ -46,6 +47,9 @@ class DropTailQueue:
         self.dropped_bytes = 0
         self.drops: List[Tuple[float, int]] = []  # (time, size) of each drop
         self.max_depth = 0
+        self.checker = checks_runtime.active()
+        if self.checker is not None:
+            self.checker.register_queue(self)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -22,6 +22,7 @@ from __future__ import annotations
 import heapq
 from typing import Any, Callable, List, Optional
 
+from repro.checks import runtime as checks_runtime
 from repro.errors import SimulationError
 
 #: Most recently constructed Simulator in this process; see
@@ -97,6 +98,11 @@ class Simulator:
         self._live: int = 0
         self._events_processed: int = 0
         self._running = False
+        # Bound at construction so the run loop pays one attribute
+        # test when checking is off (see repro.checks.runtime).
+        self.checker = checks_runtime.active()
+        if self.checker is not None:
+            self.checker.register_simulator(self)
         global _last_simulator
         _last_simulator = self
 
@@ -159,6 +165,11 @@ class Simulator:
                 if event.time < self.now:
                     raise SimulationError("event heap yielded an event in the past")
                 self.now = event.time
+                if self.checker is not None:
+                    # Clock monotonicity plus a periodic structural
+                    # audit; piggybacked here (never scheduled) so
+                    # events_processed is identical with checks on.
+                    self.checker.on_event(self)
                 event.fn(*event.args)
                 processed += 1
                 self._events_processed += 1
@@ -171,6 +182,8 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+        if self.checker is not None:
+            self.checker.on_run_end(self)
         return processed
 
     def _has_pending_before(self, horizon: float) -> bool:

@@ -23,6 +23,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Callable, Dict, Optional
 
+from repro.checks import runtime as checks_runtime
 from repro.errors import ProtocolError
 from repro.metrics.flowstats import FlowStats
 from repro.net.addresses import FlowId
@@ -136,6 +137,12 @@ class TCPConnection:
         self.cc = cc
         cc.attach(self)
 
+        # Invariant checking (repro.checks): bound at construction so
+        # every hook below is one `is not None` test when inactive.
+        self._checker = checks_runtime.active()
+        if self._checker is not None:
+            self._checker.register_connection(self)
+
     # ------------------------------------------------------------------
     # Convenience properties
     # ------------------------------------------------------------------
@@ -199,6 +206,9 @@ class TCPConnection:
         if self._timing_seq is None:
             self._timing_seq = self.iss
             self._timing_ticks = 1
+        if self._checker is not None:
+            self._checker.note_sent(self, self.iss, self.iss + 1,
+                                    is_data=False)
         self._arm_rexmt()
         self._transmit(seg)
 
@@ -291,6 +301,8 @@ class TCPConnection:
             self.snd_nxt = end_seq
         if end_seq > self.snd_max:
             self.snd_max = end_seq
+        if self._checker is not None:
+            self._checker.note_sent(self, seq, end_seq)
         self._arm_rexmt()
         self.cc.on_segment_sent(seq, length, end_seq, is_retx, self.now)
         self._trace(Kind.FLIGHT, self.flight_size())
@@ -309,6 +321,8 @@ class TCPConnection:
             self.snd_nxt = self.fin_end
         if self.fin_end > self.snd_max:
             self.snd_max = self.fin_end
+        if self._checker is not None:
+            self._checker.note_sent(self, seq, self.fin_end, is_data=False)
         self.state = State.CLOSING
         self._trace(Kind.FIN, seq)
         self._trace(Kind.STATE, self.state.value)
@@ -400,6 +414,8 @@ class TCPConnection:
             self._ece_pending = True
         if self.state == State.SYN_SENT:
             self._handle_syn_sent(seg)
+            if self._checker is not None:
+                self._checker.on_segment_processed(self)
             return
         if self.state == State.SYN_RCVD:
             if seg.has_ack and seg.ack >= self.iss + 1:
@@ -432,6 +448,8 @@ class TCPConnection:
             self.send_ack()
 
         self._maybe_done()
+        if self._checker is not None:
+            self._checker.on_segment_processed(self)
 
     def _handle_syn_sent(self, seg: TCPSegment) -> None:
         if not (seg.syn and seg.has_ack and seg.ack == self.iss + 1):
@@ -472,6 +490,8 @@ class TCPConnection:
             self.stats.note_rtt(sample)
         self._purge_send_times(ack)
         self.snd_una = ack
+        if self._checker is not None:
+            self._checker.on_ack(self, ack)
         self.rexmt_shift = 0
         self.consecutive_timeouts = 0
         if self.snd_una >= self.snd_max:
@@ -533,6 +553,8 @@ class TCPConnection:
             # snd_nxt forward so the flight never goes negative (the
             # same guard 4.3 BSD applies after ACK processing).
             self.snd_nxt = self.snd_una
+        if self._checker is not None:
+            self._checker.on_ack(self, ack)
         self.sack_board.advance_to(ack)
         freed = self.sendbuf.ack_to(ack)
         if freed:

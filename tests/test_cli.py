@@ -52,6 +52,7 @@ class TestCommands:
         out = capsys.readouterr().out
         assert "reno/vegas" in out and "(paper)" in out
 
+    @pytest.mark.slow
     def test_table2_small(self, capsys):
         assert main(["table2", "--seeds", "1"]) == 0
         out = capsys.readouterr().out

@@ -1,5 +1,7 @@
 """Additional CLI command coverage (fast variants of the slow paths)."""
 
+import pytest
+
 from repro.cli import main
 
 
@@ -15,6 +17,7 @@ class TestMoreCommands:
         assert "128 KB transfers" in out
         assert "1024 KB transfers" in out
 
+    @pytest.mark.slow
     def test_twoway_single_seed(self, capsys):
         assert main(["twoway", "--seeds", "1"]) == 0
         out = capsys.readouterr().out
@@ -25,6 +28,7 @@ class TestMoreCommands:
         out = capsys.readouterr().out
         assert "Figure 9" in out and "CAM" in out
 
+    @pytest.mark.slow
     def test_table3_single_seed(self, capsys):
         assert main(["table3", "--seeds", "1"]) == 0
         out = capsys.readouterr().out

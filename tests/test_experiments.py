@@ -76,6 +76,7 @@ class TestBackgroundRuns:
         assert run.background_conversations > 0
         assert run.background_throughput_kbps > 0
 
+    @pytest.mark.slow
     def test_two_way_variant_runs(self):
         run = run_with_background("reno", seed=3, two_way=True)
         assert run.transfer.done

@@ -26,6 +26,7 @@ from repro.harness import (
 from repro.harness import check
 from repro.harness.aggregate import summarize
 from repro.harness.registry import EXPERIMENTS
+from repro.harness.runner import storage_key
 
 #: Cheap cells (sub-second solo transfers) for runner/cache tests.
 CHEAP_CELLS = [
@@ -160,6 +161,101 @@ class TestCache:
         for entry in tmp_path.rglob("*.json"):
             entry.write_text("{not json")
         assert cache.get("k") is None
+
+    def test_src_hash_folds_support_files(self, tmp_path):
+        # Tool configuration can change behaviour without touching a
+        # .py file; extra_files lets the hash see that.
+        (tmp_path / "a.py").write_text("x = 1\n")
+        config = tmp_path / "pyproject.toml"
+        config.write_text("[tool]\n")
+        original = compute_src_hash(tmp_path, extra_files=[config])
+        assert compute_src_hash(tmp_path, extra_files=[config]) == original
+        config.write_text("[tool.other]\n")
+        assert compute_src_hash(tmp_path, extra_files=[config]) != original
+        # A missing support file is skipped, not an error.
+        ghost = tmp_path / "nope.toml"
+        assert compute_src_hash(tmp_path, extra_files=[ghost]) \
+            == compute_src_hash(tmp_path)
+
+    def test_default_src_hash_includes_pyproject(self):
+        import repro
+        from pathlib import Path
+
+        tree = Path(repro.__file__).parent
+        # The default namespace folds pyproject.toml in on top of the
+        # package tree, so editing it invalidates cached sweeps.
+        assert compute_src_hash() != compute_src_hash(tree)
+        assert compute_src_hash() == compute_src_hash(
+            tree, extra_files=[tree.parents[1] / "pyproject.toml"])
+
+
+class TestStorageKey:
+    """Checked/faulted sweeps live in their own cache namespaces."""
+
+    def test_plain_run_keeps_bare_key(self):
+        assert storage_key("a/b=1") == "a/b=1"
+
+    def test_checks_namespaces(self):
+        assert storage_key("a/b=1", checks=True) == "a/b=1#checks"
+        assert storage_key("a/b=1", checks="raise") == "a/b=1#checks"
+        assert storage_key("a/b=1", checks="collect") \
+            == "a/b=1#checks=collect"
+
+    def test_faults_namespace_is_canonical(self):
+        # Equivalent specs (profile vs explicit, key spelling) map to
+        # the same namespace via FaultPlan.describe().
+        from repro.faults import PROFILES
+
+        by_profile = storage_key("k", faults="light")
+        by_spec = storage_key("k", faults=PROFILES["light"])
+        assert by_profile == by_spec
+        assert "#faults=" in by_profile
+        assert storage_key("k", faults="drop=0.1") \
+            != storage_key("k", faults="drop=0.2")
+
+    def test_null_faults_is_plain(self):
+        assert storage_key("k", faults=None) == "k"
+        assert storage_key("k", faults="drop=0") == "k"
+
+    def test_runner_does_not_cross_namespaces(self, tmp_path):
+        cache = ResultCache(tmp_path, "h")
+        plain = run_cells(CHEAP_CELLS[:1], jobs=1, cache=cache)
+        assert plain.cache_misses == 1
+        checked = run_cells(CHEAP_CELLS[:1], jobs=1, cache=cache,
+                            checks="collect")
+        assert checked.cache_misses == 1  # plain entry must not serve
+        assert checked.results[0].metrics["invariant_violations"] == 0.0
+        warm = run_cells(CHEAP_CELLS[:1], jobs=1, cache=cache,
+                         checks="collect")
+        assert warm.cache_hits == 1
+        # The checked run's dynamics are identical to the plain run's.
+        plain_metrics = plain.results[0].metrics
+        for name, value in plain_metrics.items():
+            assert checked.results[0].metrics[name] == value
+
+
+class TestSeedStability:
+    def test_cell_is_bit_identical_across_runs(self):
+        """One registry cell executed twice in-process produces
+        bit-identical metrics and artifact fingerprints — the property
+        every cache hit and CI comparison silently relies on."""
+        cell = CHEAP_CELLS[0]
+        first = run_cells([cell], jobs=1)
+        second = run_cells([cell], jobs=1)
+        assert first.results[0].metrics == second.results[0].metrics
+        doc_a = build_document(first, mode="quick", src_hash="s")
+        doc_b = build_document(second, mode="quick", src_hash="s")
+        assert cells_fingerprint(doc_a) == cells_fingerprint(doc_b)
+
+        def stable(doc):
+            # Wall-clock and cache provenance are bookkeeping, not
+            # results; everything else must reproduce exactly.
+            return json.dumps(
+                [{k: v for k, v in cell.items()
+                  if k not in ("wall_clock_s", "cached")}
+                 for cell in doc["cells"]], sort_keys=True)
+
+        assert stable(doc_a) == stable(doc_b)
 
 
 def _document(metric=100.0, key_suffix=""):

@@ -94,6 +94,7 @@ class TestTable1Claims:
         assert mixed_total < base_total
 
 
+@pytest.mark.slow
 class TestTable2Claims:
     """With background traffic Vegas wins on every metric (§4.2)."""
 

@@ -5,6 +5,7 @@ import random
 import pytest
 
 from repro.errors import ConfigurationError
+from repro.net.packet import Packet
 from repro.net.red import REDQueue
 from repro.net.topology import Topology
 from repro.sim.engine import Simulator
@@ -71,6 +72,80 @@ class TestREDQueue:
         assert queue.dropped == queue.early_drops + queue.forced_drops
         assert queue.dropped_bytes == queue.dropped * 1000
         assert len(queue.drops) == queue.dropped
+
+
+class TestREDEdgeCases:
+    """Boundary parameters and the cold-start averaging regime."""
+
+    def _queue(self, **kwargs):
+        defaults = dict(capacity=20, rng=random.Random(1),
+                        min_th=3, max_th=9, max_p=0.1, weight=0.5)
+        defaults.update(kwargs)
+        return REDQueue(**defaults)
+
+    def test_min_equals_max_threshold_rejected(self):
+        # A zero-width probabilistic region would divide by zero in
+        # the drop-probability ramp; the constructor must refuse it.
+        with pytest.raises(ConfigurationError):
+            self._queue(min_th=5.0, max_th=5.0)
+        with pytest.raises(ConfigurationError):
+            self._queue(min_th=9.0, max_th=3.0)
+
+    def test_zero_min_threshold_rejected(self):
+        with pytest.raises(ConfigurationError):
+            self._queue(min_th=0.0, max_th=9.0)
+        with pytest.raises(ConfigurationError):
+            self._queue(min_th=-1.0, max_th=9.0)
+
+    def test_boundary_parameters_accepted(self):
+        # max_p == 1 and weight == 1 are the inclusive upper bounds.
+        queue = self._queue(max_p=1.0, weight=1.0)
+        assert queue.offer(P(), 0.0)
+
+    def test_zero_avg_warmup_suppresses_early_drops(self):
+        """A cold queue must not early-drop: the EWMA starts at zero
+        and with a small weight stays below min_th for many packets
+        even when the instantaneous depth is far above it."""
+        queue = self._queue(weight=0.002, min_th=3, max_th=9)
+        for i in range(12):  # depth 12 > max_th, but avg ~= 0
+            assert queue.offer(P(), 0.001 * i)
+        assert queue.early_drops == 0
+        assert queue.avg < queue.min_th
+
+    def test_warmup_count_reset_below_min(self):
+        # Below min_th the inter-drop counter re-arms at -1 so the
+        # first packet of the next congestion epoch is never penalised
+        # by a stale count.
+        queue = self._queue(weight=1.0)
+        for i in range(12):
+            queue.offer(P(), 0.001 * i)
+        while queue.poll(1.0) is not None:
+            pass
+        queue._update_avg(10.0)
+        assert queue.avg < queue.min_th
+        queue.offer(P(), 10.0)
+        assert queue._count_since_drop == -1
+
+    def test_ecn_marks_instead_of_early_drops(self):
+        queue = self._queue(weight=1.0, max_p=1.0, ecn=True)
+        packets = [Packet("A", "B", None, 1000, ecn_capable=True)
+                   for _ in range(12)]
+        for i, p in enumerate(packets):
+            queue.offer(p, 0.001 * i)
+        assert queue.marks > 0
+        assert queue.early_drops == 0
+        assert queue.marks == sum(p.ecn_marked for p in packets)
+
+    def test_ecn_falls_back_to_drop_when_full(self):
+        # A full queue cannot hold the packet, mark or not: the mark
+        # substitution only applies while there is room.
+        queue = self._queue(capacity=5, weight=1.0, max_p=1.0, ecn=True)
+        packets = [Packet("A", "B", None, 1000, ecn_capable=True)
+                   for _ in range(10)]
+        for i, p in enumerate(packets):
+            queue.offer(p, 0.001 * i)
+        assert queue.dropped > 0
+        assert len(queue) <= queue.capacity
 
 
 class TestREDOnLink:

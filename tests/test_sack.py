@@ -1,5 +1,7 @@
 """Tests for selective acknowledgements: scoreboard, wire, recovery."""
 
+import itertools
+
 import pytest
 from hypothesis import given, strategies as st
 
@@ -57,6 +59,65 @@ class TestScoreboard:
         board = SackScoreboard()
         board.add(12, 20)
         assert board.next_hole(10, mss=10) == (10, 2)
+
+
+class TestScoreboardReordering:
+    """Block coalescing must be insensitive to arrival order — exactly
+    what a reordering path produces: SACK blocks for later segments
+    reported before earlier ones, duplicates, and partial overlaps."""
+
+    SEGMENTS = [(10, 20), (20, 30), (40, 50), (50, 60), (80, 90)]
+
+    def _board_with(self, order):
+        board = SackScoreboard()
+        for start, end in order:
+            board.add(start, end)
+        return board
+
+    def test_order_independent_canonical_form(self):
+        expected = self._board_with(self.SEGMENTS).blocks()
+        for perm in itertools.permutations(self.SEGMENTS):
+            assert self._board_with(perm).blocks() == expected
+
+    def test_touching_blocks_coalesce(self):
+        board = self._board_with([(20, 30), (10, 20)])
+        assert board.blocks() == [(10, 30)]
+        assert board.sacked_bytes() == 20
+
+    def test_duplicate_reports_idempotent(self):
+        # A retransmitted SACK option re-reports old blocks verbatim.
+        board = self._board_with(self.SEGMENTS + self.SEGMENTS)
+        assert board.blocks() == self._board_with(self.SEGMENTS).blocks()
+
+    def test_contained_block_absorbed(self):
+        board = self._board_with([(10, 60), (20, 30)])
+        assert board.blocks() == [(10, 60)]
+
+    def test_partial_overlap_extends(self):
+        board = self._board_with([(10, 30), (25, 45)])
+        assert board.blocks() == [(10, 45)]
+
+    def test_bridge_across_many_blocks(self):
+        # One late block can stitch several earlier islands together.
+        board = self._board_with([(10, 20), (30, 40), (50, 60), (15, 55)])
+        assert board.blocks() == [(10, 60)]
+
+    def test_next_hole_after_reordered_adds(self):
+        board = self._board_with([(50, 60), (20, 30)])
+        assert board.next_hole(10, mss=10) == (10, 10)
+        assert board.next_hole(30, mss=100) == (30, 20)
+        board.add(30, 50)  # the hole fills in late
+        assert board.next_hole(10, mss=10) == (10, 10)
+        assert board.next_hole(20, mss=10) is None
+
+    def test_advance_then_late_block(self):
+        # Blocks at/below the new cumulative point are dropped even
+        # when the report arrives after the ACK advanced.
+        board = self._board_with([(10, 20), (40, 50)])
+        board.advance_to(30)
+        board.add(15, 25)  # stale report, fully below snd_una
+        board.advance_to(30)
+        assert board.blocks() == [(40, 50)]
 
     def test_no_holes_when_empty(self):
         assert SackScoreboard().next_hole(0, mss=10) is None
