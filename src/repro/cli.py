@@ -14,6 +14,9 @@ Usage::
     python -m repro.cli telnet
     python -m repro.cli solo --cc vegas-1,3 --size-kb 512 --buffers 15
     python -m repro.cli run-all --quick --jobs 4 --json results.json
+    python -m repro.cli bench --rounds 3
+
+(``python -m repro ...`` is an equivalent spelling of every command.)
 
 Each subcommand prints the regenerated table or trace summary, with
 the paper's numbers alongside where the paper gives them.  ``run-all``
@@ -286,6 +289,21 @@ def _cmd_run_all(args) -> int:
     return 0
 
 
+def _cmd_bench(args) -> int:
+    from repro.perf import bench
+
+    argv = ["--rounds", str(args.rounds), "--json", args.json,
+            "--baseline", args.baseline,
+            "--max-regression", str(args.max_regression)]
+    if args.no_baseline:
+        argv.append("--no-baseline")
+    if args.no_timing_gate:
+        argv.append("--no-timing-gate")
+    if args.update_baseline:
+        argv.append("--update-baseline")
+    return bench.main(argv)
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -352,6 +370,28 @@ def build_parser() -> argparse.ArgumentParser:
                               "(light/heavy/flap) or 'drop=0.01,dup=...' "
                               "(see repro.faults.FaultPlan.parse)")
     run_all.set_defaults(fn=_cmd_run_all)
+
+    bench = sub.add_parser(
+        "bench",
+        help="run the engine benchmark suite; write BENCH_engine.json "
+             "and gate against the committed baseline")
+    bench.add_argument("--rounds", type=int, default=3,
+                       help="runs per cell, median reported (default 3)")
+    bench.add_argument("--json", metavar="PATH", default="BENCH_engine.json",
+                       help="artifact path (default BENCH_engine.json)")
+    bench.add_argument("--baseline", metavar="PATH",
+                       default="baselines/bench_baseline.json",
+                       help="committed bench baseline")
+    bench.add_argument("--no-baseline", action="store_true",
+                       help="skip the baseline comparison")
+    bench.add_argument("--no-timing-gate", action="store_true",
+                       help="gate only on bit-identical determinism "
+                            "(events, peak_heap), not events/sec")
+    bench.add_argument("--max-regression", type=float, default=0.25,
+                       help="events/sec drop that fails the timing gate")
+    bench.add_argument("--update-baseline", action="store_true",
+                       help="write this run as the new baseline")
+    bench.set_defaults(fn=_cmd_bench)
 
     parser.set_defaults(_subcommands=tuple(sub.choices))
     return parser

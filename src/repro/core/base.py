@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.tcp import constants as C
+from repro.trace.records import Kind
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.tcp.connection import TCPConnection
@@ -102,12 +103,10 @@ class CongestionControl:
     # ------------------------------------------------------------------
     def _trace_cwnd(self, now: float) -> None:
         if self.conn is not None:
-            from repro.trace.records import Kind
             self.conn.tracer.record(now, Kind.CWND, self.cwnd)
 
     def _trace_ssthresh(self, now: float) -> None:
         if self.conn is not None:
-            from repro.trace.records import Kind
             self.conn.tracer.record(now, Kind.SSTHRESH, self.ssthresh)
 
     def _set_cwnd(self, value: int, now: float) -> None:

@@ -18,7 +18,8 @@ forward serialisation delay matters.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, List, Optional
+from collections import deque
+from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.checks import runtime as checks_runtime
 from repro.errors import ConfigurationError
@@ -64,6 +65,14 @@ class Channel:
         checker = checks_runtime.active()
         if checker is not None:
             checker.register_channel(self)
+        # Hot-path bindings: the simulator and fault state are fixed
+        # for the channel's lifetime.  When no fault session is
+        # attached the propagation event jumps straight to
+        # deliver_now, skipping the faults branch entirely.  The
+        # queue's offer/poll are looked up per call on purpose — they
+        # are a seam tests patch to inject targeted drops.
+        self._schedule = sim.schedule
+        self._deliver_fn = self.deliver_now if self.faults is None else self._deliver
 
     def send(self, packet: Packet) -> bool:
         """Offer *packet* to the egress queue; start draining if idle.
@@ -82,13 +91,12 @@ class Channel:
             return
         self._busy = True
         self.in_transit += 1
-        tx_time = packet.size / self.bandwidth
-        self.sim.schedule(tx_time, self._tx_done, packet)
+        self._schedule(packet.size / self.bandwidth, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         # The wire is free as soon as the last bit leaves; the packet
         # arrives one propagation delay later.
-        self.sim.schedule(self.delay, self._deliver, packet)
+        self._schedule(self.delay, self._deliver_fn, packet)
         self._transmit_next()
 
     def _deliver(self, packet: Packet) -> None:
@@ -187,9 +195,10 @@ class _LanPort(Port):
     def __init__(self, lan: "EthernetLan", owner: "Node"):
         self.lan = lan
         self.owner = owner
-
-    def transmit(self, packet: Packet, next_node: "Node") -> bool:
-        return self.lan.send(packet, next_node)
+        # LAN send already takes (packet, dst_node) — expose it as this
+        # port's transmit directly instead of paying a wrapper frame on
+        # every forwarded packet.
+        self.transmit = lan.send
 
     def neighbors(self) -> List["Node"]:
         return [n for n in self.lan.nodes if n is not self.owner]
@@ -212,34 +221,44 @@ class EthernetLan:
         self.latency = latency
         self.name = name
         self.nodes: List["Node"] = []
+        self._node_set: set = set()
         self.queue = DropTailQueue(None, name=f"{name}.medium")
         self._busy = False
-        self._dst_by_uid = {}
+        # Destination of each queued transmission, FIFO-parallel to the
+        # medium queue (which is unbounded and never drops, so the two
+        # stay in lockstep).  Per-transmission, not per-uid: a
+        # duplicated packet (same uid, injected twice) must reach its
+        # destination both times.
+        self._dsts: Deque["Node"] = deque()
         self.bytes_delivered = 0
         self.packets_delivered = 0
         self.in_transit = 0
         checker = checks_runtime.active()
         if checker is not None:
             checker.register_lan(self)
+        # Same scheduler binding as Channel; queue methods stay late-
+        # bound (they are a patch seam for targeted-drop tests).
+        self._schedule = sim.schedule
 
     def attach(self, node: "Node") -> None:
         """Connect *node* to this LAN."""
-        if node in self.nodes:
+        if node in self._node_set:
             raise ConfigurationError(f"{node.name} already attached to {self.name}")
         self.nodes.append(node)
+        self._node_set.add(node)
         node.add_port(_LanPort(self, node))
 
     def send(self, packet: Packet, dst_node: "Node") -> bool:
-        if dst_node not in self.nodes:
+        if dst_node not in self._node_set:
             raise ConfigurationError(
                 f"{dst_node.name} is not attached to {self.name}")
-        # One pending entry per transmission, not per uid: a duplicated
-        # packet (same uid, injected twice) must reach its destination
-        # both times rather than vanish on the second delivery.
-        self._dst_by_uid.setdefault(packet.uid, []).append(dst_node)
-        self.queue.offer(packet, self.sim.now)
-        if not self._busy:
-            self._transmit_next()
+        # The dst FIFO mirrors the medium queue entry for entry.  The
+        # medium is unbounded so offers normally always succeed, but a
+        # patched/lossy queue must not desynchronise the two.
+        if self.queue.offer(packet, self.sim.now):
+            self._dsts.append(dst_node)
+            if not self._busy:
+                self._transmit_next()
         return True
 
     def _transmit_next(self) -> None:
@@ -249,22 +268,15 @@ class EthernetLan:
             return
         self._busy = True
         self.in_transit += 1
-        tx_time = packet.size / self.bandwidth
-        self.sim.schedule(tx_time, self._tx_done, packet)
+        self._schedule(packet.size / self.bandwidth, self._tx_done,
+                       packet, self._dsts.popleft())
 
-    def _tx_done(self, packet: Packet) -> None:
-        self.sim.schedule(self.latency, self._deliver, packet)
+    def _tx_done(self, packet: Packet, dst: "Node") -> None:
+        self._schedule(self.latency, self._deliver, packet, dst)
         self._transmit_next()
 
-    def _deliver(self, packet: Packet) -> None:
-        pending = self._dst_by_uid.get(packet.uid)
-        dst = None
-        if pending:
-            dst = pending.pop(0)
-            if not pending:
-                del self._dst_by_uid[packet.uid]
+    def _deliver(self, packet: Packet, dst: "Node") -> None:
         self.in_transit -= 1
         self.bytes_delivered += packet.size
         self.packets_delivered += 1
-        if dst is not None:
-            dst.receive(packet)
+        dst.receive(packet)

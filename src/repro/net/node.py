@@ -26,8 +26,10 @@ class Node:
         self.sim = sim
         self.name = name
         self.ports: List[Port] = []
-        # destination host name -> (port, next hop node)
-        self.forwarding: Dict[str, Tuple[Port, "Node"]] = {}
+        # destination host name -> (port, next hop node, bound
+        # port.transmit).  The bound method is stored alongside so the
+        # per-packet forwarding path skips one attribute lookup.
+        self.forwarding: Dict[str, Tuple[Port, "Node", Callable]] = {}
 
     def add_port(self, port: Port) -> None:
         self.ports.append(port)
@@ -40,15 +42,14 @@ class Node:
         return result
 
     def install_route(self, dst: str, port: Port, next_node: "Node") -> None:
-        self.forwarding[dst] = (port, next_node)
+        self.forwarding[dst] = (port, next_node, port.transmit)
 
     def forward(self, packet: Packet) -> bool:
         """Send *packet* toward its destination via the forwarding table."""
         entry = self.forwarding.get(packet.dst)
         if entry is None:
             raise RoutingError(f"{self.name}: no route to {packet.dst}")
-        port, next_node = entry
-        return port.transmit(packet, next_node)
+        return entry[2](packet, entry[1])
 
     def receive(self, packet: Packet) -> None:
         raise NotImplementedError
@@ -115,5 +116,4 @@ class Router(Node):
             return
         self.packets_forwarded += 1
         self.bytes_forwarded += packet.size
-        port, next_node = entry
-        port.transmit(packet, next_node)
+        entry[2](packet, entry[1])

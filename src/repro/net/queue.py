@@ -64,29 +64,35 @@ class DropTailQueue:
 
     def offer(self, packet: Packet, now: float) -> bool:
         """Enqueue *packet*; return ``False`` (and drop it) when full."""
-        if self.is_full:
+        # Hot path: locals instead of the is_full/len properties, one
+        # len() call, monitor branch skipped when inactive.
+        items = self._items
+        depth = len(items)
+        if self.capacity is not None and depth >= self.capacity:
             self.dropped += 1
             self.dropped_bytes += packet.size
             self.drops.append((now, packet.size))
             if self.monitor is not None:
-                self.monitor(now, "drop", packet, len(self._items))
+                self.monitor(now, "drop", packet, depth)
             return False
-        self._items.append(packet)
+        items.append(packet)
         self.enqueued += 1
-        if len(self._items) > self.max_depth:
-            self.max_depth = len(self._items)
+        depth += 1
+        if depth > self.max_depth:
+            self.max_depth = depth
         if self.monitor is not None:
-            self.monitor(now, "enq", packet, len(self._items))
+            self.monitor(now, "enq", packet, depth)
         return True
 
     def poll(self, now: float) -> Optional[Packet]:
         """Dequeue and return the head packet, or ``None`` when empty."""
-        if not self._items:
+        items = self._items
+        if not items:
             return None
-        packet = self._items.popleft()
+        packet = items.popleft()
         self.dequeued += 1
         if self.monitor is not None:
-            self.monitor(now, "deq", packet, len(self._items))
+            self.monitor(now, "deq", packet, len(items))
         return packet
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

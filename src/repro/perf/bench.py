@@ -1,0 +1,263 @@
+"""The ``python -m repro bench`` suite and its regression comparator.
+
+Runs a curated set of representative harness cells — solo traced runs
+(figure6/figure7), a tcplib-background cell (the table2 workload that
+dominates sweep time), a faulted cell, and a checks-on cell — each
+*rounds* times with a :class:`~repro.perf.counters.PerfProbe`
+attached, and writes ``BENCH_engine.json`` at the repo root::
+
+    {
+      "schema_version": "repro-bench/v1",
+      "rounds": 3,
+      "cells": {
+        "figure6": {"events_per_sec": ..., "wall_s": ..., "events": ...,
+                    "peak_heap": ...},
+        ...
+      },
+      "micro": { ...Vegas-vs-Reno overhead (see repro.perf.micro)... }
+    }
+
+``events`` and ``peak_heap`` are pure functions of the simulation, so
+the comparator gates them **exactly** against
+``baselines/bench_baseline.json`` (the bit-identical determinism
+check, suitable for noisy CI runners); ``events_per_sec`` is gated
+with a relative tolerance (default: fail on >25% regression) and can
+be disabled with ``--no-timing-gate`` where runners are too noisy.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import statistics
+import sys
+from typing import Any, Dict, List, Optional, Sequence
+
+from repro.errors import ReproError
+
+#: Bump on any change to the BENCH document layout.
+SCHEMA_VERSION = "repro-bench/v1"
+
+#: Default artifact and baseline locations (repo-root relative).
+DEFAULT_ARTIFACT = "BENCH_engine.json"
+DEFAULT_BASELINE = "baselines/bench_baseline.json"
+
+#: Fail the timing gate when events/sec drops by more than this.
+DEFAULT_MAX_REGRESSION = 0.25
+
+
+def bench_suite() -> List[Dict[str, Any]]:
+    """The curated cells: (name, cell, checks, faults) descriptors."""
+    from repro.harness.registry import Cell
+
+    return [
+        {"name": "figure6",
+         "cell": Cell.make("figure6", seed=0)},
+        {"name": "figure7",
+         "cell": Cell.make("figure7", seed=0)},
+        {"name": "table2_background",
+         "cell": Cell.make("table2", proto="vegas-1,3", buffers=10, seed=0)},
+        {"name": "table2_faulted",
+         "cell": Cell.make("table2", proto="reno", buffers=10, seed=0),
+         "faults": "light"},
+        {"name": "figure6_checked",
+         "cell": Cell.make("figure6", seed=0),
+         "checks": "raise"},
+    ]
+
+
+def run_bench_cell(descriptor: Dict[str, Any],
+                   rounds: int = 3) -> Dict[str, Any]:
+    """Run one suite cell *rounds* times and aggregate its counters.
+
+    Raises :class:`ReproError` if the deterministic counters (events,
+    peak heap) disagree between rounds — a bug in the engine's
+    optimizations would surface here first.
+    """
+    from repro.harness.registry import run_cell
+    from repro.perf import runtime as perf_runtime
+    from repro.perf.counters import PerfProbe
+
+    walls: List[float] = []
+    events: List[int] = []
+    peaks: List[int] = []
+    for _ in range(rounds):
+        probe = PerfProbe()
+        perf_runtime.activate(probe)
+        try:
+            with probe.phase("run"):
+                run_cell(descriptor["cell"],
+                         checks=descriptor.get("checks", False),
+                         faults=descriptor.get("faults"))
+        finally:
+            perf_runtime.deactivate()
+        walls.append(probe.phases["run"])
+        events.append(probe.events)
+        peaks.append(probe.peak_heap)
+    if len(set(events)) != 1 or len(set(peaks)) != 1:
+        raise ReproError(
+            f"{descriptor['name']}: nondeterministic counters across rounds "
+            f"(events {events}, peak_heap {peaks})")
+    wall = statistics.median(walls)
+    return {
+        "events_per_sec": round(events[0] / wall, 1) if wall > 0 else 0.0,
+        "wall_s": round(wall, 6),
+        "wall_s_min": round(min(walls), 6),
+        "events": events[0],
+        "peak_heap": peaks[0],
+    }
+
+
+def run_suite(rounds: int = 3,
+              progress=None) -> Dict[str, Any]:
+    """Run every suite cell plus the micro section; build the document."""
+    from repro.perf.micro import vegas_overhead
+    from repro.sim.engine import slow_path_requested
+
+    cells: Dict[str, Any] = {}
+    for descriptor in bench_suite():
+        cells[descriptor["name"]] = run_bench_cell(descriptor, rounds=rounds)
+        if progress is not None:
+            result = cells[descriptor["name"]]
+            progress(f"{descriptor['name']}: "
+                     f"{result['events_per_sec']:,.0f} events/s "
+                     f"({result['events']} events, "
+                     f"{result['wall_s'] * 1000:.0f} ms)")
+    micro = vegas_overhead(rounds=rounds)
+    if progress is not None:
+        progress(f"micro: vegas overhead {micro['overhead_pct']:+.1f}% "
+                 f"vs reno")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "rounds": rounds,
+        "slow_path": slow_path_requested(),
+        "cells": cells,
+        "micro": micro,
+    }
+
+
+def write_document(path: str, doc: Dict[str, Any]) -> None:
+    with open(path, "w") as handle:
+        json.dump(doc, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+
+
+def load_document(path: str) -> Dict[str, Any]:
+    try:
+        with open(path) as handle:
+            doc = json.load(handle)
+    except (OSError, ValueError) as exc:
+        raise ReproError(f"cannot read bench artifact {path!r}: {exc}") from exc
+    version = doc.get("schema_version") if isinstance(doc, dict) else None
+    if version != SCHEMA_VERSION:
+        raise ReproError(f"{path!r}: unsupported schema {version!r} "
+                         f"(expected {SCHEMA_VERSION!r})")
+    if not isinstance(doc.get("cells"), dict):
+        raise ReproError(f"{path!r}: artifact has no cells mapping")
+    return doc
+
+
+def compare(current: Dict[str, Any], baseline: Dict[str, Any],
+            max_regression: float = DEFAULT_MAX_REGRESSION,
+            timing: bool = True) -> List[str]:
+    """All gate violations of *current* against *baseline*.
+
+    Determinism (``events``, ``peak_heap``) is compared exactly for
+    every baseline cell; ``events_per_sec`` only when *timing* is true,
+    failing on a drop of more than *max_regression*.  Cells only in
+    *current* are new and never fail the gate.
+    """
+    problems: List[str] = []
+    for name in sorted(baseline["cells"]):
+        want = baseline["cells"][name]
+        got = current["cells"].get(name)
+        if got is None:
+            problems.append(f"missing bench cell: {name}")
+            continue
+        for metric in ("events", "peak_heap"):
+            if got.get(metric) != want.get(metric):
+                problems.append(
+                    f"{name}: {metric} = {got.get(metric)}, baseline "
+                    f"{want.get(metric)} (must match exactly)")
+        if timing:
+            want_rate = want.get("events_per_sec", 0.0)
+            got_rate = got.get("events_per_sec", 0.0)
+            if want_rate > 0 and got_rate < want_rate * (1.0 - max_regression):
+                problems.append(
+                    f"{name}: events_per_sec {got_rate:,.0f} is "
+                    f"{(1 - got_rate / want_rate) * 100:.0f}% below "
+                    f"baseline {want_rate:,.0f} "
+                    f"(gate: {max_regression * 100:.0f}%)")
+    return problems
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro bench",
+        description="Run the engine benchmark suite and write "
+                    "BENCH_engine.json.")
+    parser.add_argument("--rounds", type=int, default=3,
+                        help="runs per cell; median wall time is reported "
+                             "(default 3)")
+    parser.add_argument("--json", metavar="PATH", default=DEFAULT_ARTIFACT,
+                        help=f"artifact path (default {DEFAULT_ARTIFACT})")
+    parser.add_argument("--baseline", metavar="PATH", default=DEFAULT_BASELINE,
+                        help=f"committed baseline (default {DEFAULT_BASELINE})")
+    parser.add_argument("--no-baseline", action="store_true",
+                        help="skip the baseline comparison entirely")
+    parser.add_argument("--no-timing-gate", action="store_true",
+                        help="gate only on the bit-identical determinism "
+                             "check (events, peak_heap), not events/sec — "
+                             "for noisy CI runners")
+    parser.add_argument("--max-regression", type=float,
+                        default=DEFAULT_MAX_REGRESSION,
+                        help="events/sec drop that fails the timing gate "
+                             "(default 0.25)")
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="write the run to the baseline path instead of "
+                             "comparing against it")
+    args = parser.parse_args(argv)
+    if args.rounds < 1:
+        print(f"error: --rounds must be >= 1, got {args.rounds}",
+              file=sys.stderr)
+        return 2
+
+    try:
+        doc = run_suite(rounds=args.rounds,
+                        progress=lambda line: print(line, file=sys.stderr))
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    write_document(args.json, doc)
+    print(f"BENCH artifact: {args.json}")
+    if args.update_baseline:
+        write_document(args.baseline, doc)
+        print(f"baseline updated: {args.baseline}")
+        return 0
+    if args.no_baseline:
+        return 0
+
+    try:
+        baseline = load_document(args.baseline)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        print("hint: create one with `python -m repro bench "
+              "--update-baseline`", file=sys.stderr)
+        return 2
+    problems = compare(doc, baseline,
+                       max_regression=args.max_regression,
+                       timing=not args.no_timing_gate)
+    if problems:
+        print(f"FAIL: {len(problems)} problem(s) vs {args.baseline}:")
+        for problem in problems:
+            print(f"  {problem}")
+        return 1
+    gate = ("determinism only" if args.no_timing_gate
+            else f"determinism + timing ({args.max_regression * 100:.0f}%)")
+    print(f"OK: {len(baseline['cells'])} bench cell(s) within gate ({gate})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,94 @@
+"""Lightweight counters and timers for the event engine.
+
+A :class:`PerfProbe` is attached to simulators through
+:mod:`repro.perf.runtime` (activation at construction, one ``is not
+None`` test per event when off).  While attached it records:
+
+* ``events`` — events dispatched across all registered simulators;
+* ``peak_heap`` — the largest event-heap length observed at dispatch;
+* ``component_counts`` — events per callback ``__qualname__``, i.e.
+  which component (link transmit, timer tick, TCP delivery, ...) the
+  engine spent its dispatches on;
+* ``phases`` — named wall-clock spans measured with :meth:`phase`;
+* ``tracer_records`` — record counts of any tracer handed to
+  :meth:`note_tracer`.
+
+Everything except the wall-clock phases is a pure function of the
+simulation, so probe counters can participate in determinism gates.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from typing import Any, Dict, List
+
+
+class PerfProbe:
+    """Counters for one profiled run; see the module docstring."""
+
+    __slots__ = ("events", "peak_heap", "component_counts", "phases",
+                 "tracer_records", "_sims")
+
+    def __init__(self) -> None:
+        self.events = 0
+        self.peak_heap = 0
+        self.component_counts: Dict[str, int] = {}
+        self.phases: Dict[str, float] = {}
+        self.tracer_records: Dict[str, int] = {}
+        self._sims: List[Any] = []
+
+    # -- engine hooks ---------------------------------------------------
+    def register_simulator(self, sim) -> None:
+        self._sims.append(sim)
+
+    def on_event(self, fn, heap_len: int) -> None:
+        """Called by the engine for every dispatched event."""
+        self.events += 1
+        if heap_len > self.peak_heap:
+            self.peak_heap = heap_len
+        key = getattr(fn, "__qualname__", None) or repr(fn)
+        counts = self.component_counts
+        counts[key] = counts.get(key, 0) + 1
+
+    # -- manual instrumentation ----------------------------------------
+    @contextmanager
+    def phase(self, name: str):
+        """Accumulate the wall-clock time of a ``with`` block."""
+        start = time.perf_counter()
+        try:
+            yield self
+        finally:
+            self.phases[name] = (self.phases.get(name, 0.0)
+                                 + time.perf_counter() - start)
+
+    def note_tracer(self, tracer) -> None:
+        """Record the current size of *tracer* under its name."""
+        self.tracer_records[tracer.name] = len(tracer)
+
+    # -- reporting ------------------------------------------------------
+    def events_per_sec(self, phase: str = "run") -> float:
+        """Events per wall-clock second of the named phase (0 if unknown)."""
+        wall = self.phases.get(phase, 0.0)
+        return self.events / wall if wall > 0 else 0.0
+
+    def top_components(self, n: int = 10) -> List[tuple]:
+        """The *n* busiest callbacks as ``(qualname, count)`` pairs."""
+        ranked = sorted(self.component_counts.items(),
+                        key=lambda kv: (-kv[1], kv[0]))
+        return ranked[:n]
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-serialisable dump of every counter."""
+        return {
+            "events": self.events,
+            "peak_heap": self.peak_heap,
+            "component_counts": dict(sorted(self.component_counts.items())),
+            "phases": {k: round(v, 6) for k, v in sorted(self.phases.items())},
+            "tracer_records": dict(sorted(self.tracer_records.items())),
+        }
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (f"PerfProbe(events={self.events}, "
+                f"peak_heap={self.peak_heap}, "
+                f"components={len(self.component_counts)})")

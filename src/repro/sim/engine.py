@@ -15,19 +15,62 @@ Typical use::
 Components keep a reference to their :class:`Simulator` and use
 :meth:`Simulator.schedule` for everything time-related: link
 transmission completions, protocol timers, application send times.
+
+Hot path
+--------
+
+Millions of events per run means the scheduler's constant factors
+dominate wall clock, so the default ("fast") engine:
+
+* stores ``(time, seq, event)`` tuples in the heap, so ``heapq``
+  compares C tuples instead of calling ``Event.__lt__`` — ``seq`` is
+  unique, so the comparison never reaches the event object;
+* recycles :class:`Event` objects through a free list, cutting
+  allocator churn on the schedule/fire cycle.
+
+Both changes preserve execution order bit-for-bit: ordering is
+``(time, seq)`` either way.  The pre-optimization engine survives as
+the *slow path* — set ``REPRO_ENGINE_SLOWPATH=1`` before constructing
+a :class:`Simulator` to get an object heap ordered by
+``Event.__lt__`` with a fresh allocation per event.  The determinism
+suite runs the same cell on both paths and asserts identical results.
+
+Event-handle contract: an :class:`Event` returned by ``schedule`` is
+only a valid handle until it fires.  Cancelling after the callback ran
+is a safe no-op, but holders that may outlive their event must null
+their reference when it fires (see ``TCPConnection._pace_fire``),
+because a fired event's object may be recycled for a later
+``schedule`` call.
 """
 
 from __future__ import annotations
 
 import heapq
+import os
 from typing import Any, Callable, List, Optional
 
 from repro.checks import runtime as checks_runtime
 from repro.errors import SimulationError
+from repro.perf import runtime as perf_runtime
 
 #: Most recently constructed Simulator in this process; see
 #: :func:`last_simulator`.
 _last_simulator: Optional["Simulator"] = None
+
+_heappush = heapq.heappush
+
+#: Upper bound on the event free list.  Steady-state simulations churn
+#: far fewer live events than this; the cap only bounds memory after a
+#: transient burst of cancellations.
+_POOL_MAX = 4096
+
+#: Environment variable selecting the seed-equivalent slow path.
+SLOWPATH_ENV = "REPRO_ENGINE_SLOWPATH"
+
+
+def slow_path_requested() -> bool:
+    """True when the environment asks for the pre-optimization engine."""
+    return os.environ.get(SLOWPATH_ENV, "") not in ("", "0")
 
 
 def last_simulator() -> Optional["Simulator"]:
@@ -48,6 +91,11 @@ class Event:
     Events are returned by :meth:`Simulator.schedule` so callers can
     cancel them.  A cancelled event stays in the heap but is skipped
     when popped (lazy deletion), which keeps cancellation O(1).
+
+    Once the callback has fired the handle is dead: ``cancel()`` is a
+    no-op (``cancelled`` is set as the event leaves the heap), and the
+    object may be reused for a future ``schedule`` call, so holders
+    must drop their reference when their event fires.
     """
 
     __slots__ = ("time", "seq", "fn", "args", "cancelled", "_sim")
@@ -64,7 +112,7 @@ class Event:
         self._sim = sim
 
     def cancel(self) -> None:
-        """Mark the event so it will not fire."""
+        """Mark the event so it will not fire.  No-op after it fired."""
         if not self.cancelled:
             self.cancelled = True
             if self._sim is not None:
@@ -73,6 +121,8 @@ class Event:
 
     def __lt__(self, other: "Event") -> bool:
         # heapq needs a total order; (time, seq) is unique per event.
+        # Only exercised by the slow path — the fast path's heap holds
+        # (time, seq, event) tuples that never compare beyond seq.
         if self.time != other.time:
             return self.time < other.time
         return self.seq < other.seq
@@ -93,16 +143,25 @@ class Simulator:
 
     def __init__(self) -> None:
         self.now: float = 0.0
-        self._heap: List[Event] = []
+        # Fast path: list of (time, seq, Event).  Slow path: list of
+        # Event ordered by Event.__lt__.  Never mixed — the path is
+        # fixed at construction.
+        self._heap: List[Any] = []
         self._seq: int = 0
         self._live: int = 0
         self._events_processed: int = 0
         self._running = False
+        self._fast = not slow_path_requested()
+        self._pool: List[Event] = []
         # Bound at construction so the run loop pays one attribute
-        # test when checking is off (see repro.checks.runtime).
+        # test when checking/profiling is off (see repro.checks.runtime
+        # and repro.perf.runtime).
         self.checker = checks_runtime.active()
         if self.checker is not None:
             self.checker.register_simulator(self)
+        self.perf = perf_runtime.active()
+        if self.perf is not None:
+            self.perf.register_simulator(self)
         global _last_simulator
         _last_simulator = self
 
@@ -117,7 +176,29 @@ class Simulator:
         """
         if delay < 0:
             raise SimulationError(f"cannot schedule event {delay}s in the past")
-        return self.schedule_at(self.now + delay, fn, *args)
+        # _push inlined: this is the single hottest entry point (one
+        # call per event), and the extra frame is measurable.
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if self._fast:
+            pool = self._pool
+            if pool:
+                event = pool.pop()
+                event.time = time
+                event.seq = seq
+                event.fn = fn
+                event.args = args
+                event.cancelled = False
+                event._sim = self
+            else:
+                event = Event(time, seq, fn, args, sim=self)
+            _heappush(self._heap, (time, seq, event))
+        else:
+            event = Event(time, seq, fn, args, sim=self)
+            _heappush(self._heap, event)
+        return event
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule *fn(*args)* at absolute simulated time *time*."""
@@ -125,11 +206,39 @@ class Simulator:
             raise SimulationError(
                 f"cannot schedule event at t={time:.6f} before now={self.now:.6f}"
             )
-        event = Event(time, self._seq, fn, args, sim=self)
-        self._seq += 1
+        return self._push(time, fn, args)
+
+    def _push(self, time: float, fn: Callable[..., Any], args: tuple) -> Event:
+        seq = self._seq
+        self._seq = seq + 1
         self._live += 1
-        heapq.heappush(self._heap, event)
+        if self._fast:
+            pool = self._pool
+            if pool:
+                event = pool.pop()
+                event.time = time
+                event.seq = seq
+                event.fn = fn
+                event.args = args
+                event.cancelled = False
+                event._sim = self
+            else:
+                event = Event(time, seq, fn, args, sim=self)
+            _heappush(self._heap, (time, seq, event))
+        else:
+            event = Event(time, seq, fn, args, sim=self)
+            _heappush(self._heap, event)
         return event
+
+    def _recycle(self, event: Event) -> None:
+        # Neutralise the handle before pooling: a late cancel() on a
+        # fired event must be a no-op and must not hold references.
+        event.cancelled = True
+        event._sim = None
+        event.fn = None
+        event.args = ()
+        if len(self._pool) < _POOL_MAX:
+            self._pool.append(event)
 
     def cancel(self, event: Optional[Event]) -> None:
         """Cancel *event* if it is pending.  ``None`` is accepted as a no-op."""
@@ -150,31 +259,11 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
-        processed = 0
         try:
-            while self._heap:
-                event = self._heap[0]
-                if event.cancelled:
-                    heapq.heappop(self._heap)
-                    continue
-                if until is not None and event.time > until:
-                    break
-                heapq.heappop(self._heap)
-                self._live -= 1
-                event._sim = None
-                if event.time < self.now:
-                    raise SimulationError("event heap yielded an event in the past")
-                self.now = event.time
-                if self.checker is not None:
-                    # Clock monotonicity plus a periodic structural
-                    # audit; piggybacked here (never scheduled) so
-                    # events_processed is identical with checks on.
-                    self.checker.on_event(self)
-                event.fn(*event.args)
-                processed += 1
-                self._events_processed += 1
-                if max_events is not None and processed >= max_events:
-                    break
+            if self._fast:
+                processed = self._run_fast(until, max_events)
+            else:
+                processed = self._run_slow(until, max_events)
             if (until is not None and self.now < until
                     and not self._has_pending_before(until)):
                 # Advance the clock to the horizon so back-to-back
@@ -186,14 +275,104 @@ class Simulator:
             self.checker.on_run_end(self)
         return processed
 
+    def _run_fast(self, until: Optional[float],
+                  max_events: Optional[int]) -> int:
+        """Tuple-heap dispatch loop with hoisted lookups."""
+        heap = self._heap
+        heappop = heapq.heappop
+        checker = self.checker
+        perf = self.perf
+        pool = self._pool
+        pool_append = pool.append
+        horizon = float("inf") if until is None else until
+        limit = float("inf") if max_events is None else max_events
+        processed = 0
+        while heap:
+            entry = heappop(heap)
+            event = entry[2]
+            if event.cancelled:
+                event.fn = None
+                event.args = ()
+                if len(pool) < _POOL_MAX:
+                    pool_append(event)
+                continue
+            time = entry[0]
+            if time > horizon:
+                # Overshot the horizon: the popped event stays pending.
+                heapq.heappush(heap, entry)
+                break
+            self._live -= 1
+            event._sim = None
+            if time < self.now:
+                raise SimulationError("event heap yielded an event in the past")
+            self.now = time
+            if checker is not None:
+                # Clock monotonicity plus a periodic structural
+                # audit; piggybacked here (never scheduled) so
+                # events_processed is identical with checks on.
+                checker.on_event(self)
+            fn = event.fn
+            args = event.args
+            if perf is not None:
+                perf.on_event(fn, len(heap))
+            fn(*args)
+            # Recycle only after dispatch (inlined): the callback may
+            # legally cancel the event that invoked it (timer
+            # self-stop), which must hit this dead handle, not a
+            # recycled live one.
+            event.cancelled = True
+            event._sim = None
+            event.fn = None
+            event.args = ()
+            if len(pool) < _POOL_MAX:
+                pool_append(event)
+            processed += 1
+            self._events_processed += 1
+            if processed >= limit:
+                break
+        return processed
+
+    def _run_slow(self, until: Optional[float],
+                  max_events: Optional[int]) -> int:
+        """The seed engine's loop, kept verbatim as the reference path."""
+        processed = 0
+        while self._heap:
+            event = self._heap[0]
+            if event.cancelled:
+                heapq.heappop(self._heap)
+                continue
+            if until is not None and event.time > until:
+                break
+            heapq.heappop(self._heap)
+            self._live -= 1
+            event._sim = None
+            if event.time < self.now:
+                raise SimulationError("event heap yielded an event in the past")
+            self.now = event.time
+            if self.checker is not None:
+                self.checker.on_event(self)
+            if self.perf is not None:
+                self.perf.on_event(event.fn, len(self._heap))
+            event.fn(*event.args)
+            processed += 1
+            self._events_processed += 1
+            if max_events is not None and processed >= max_events:
+                break
+        return processed
+
     def _has_pending_before(self, horizon: float) -> bool:
         # Pruning cancelled events off the top keeps this O(1)
         # amortised: each cancelled event is popped at most once over
         # the simulator's lifetime.  Once the top is live it is the
         # global minimum, so a single comparison answers the question.
-        while self._heap and self._heap[0].cancelled:
-            heapq.heappop(self._heap)
-        return bool(self._heap) and self._heap[0].time <= horizon
+        heap = self._heap
+        if self._fast:
+            while heap and heap[0][2].cancelled:
+                self._recycle(heapq.heappop(heap)[2])
+            return bool(heap) and heap[0][0] <= horizon
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+        return bool(heap) and heap[0].time <= horizon
 
     # ------------------------------------------------------------------
     # Introspection
@@ -207,6 +386,11 @@ class Simulator:
     def events_processed(self) -> int:
         """Total events executed over the simulator's lifetime."""
         return self._events_processed
+
+    @property
+    def heap_size(self) -> int:
+        """Raw heap length, including lazily-deleted cancelled events."""
+        return len(self._heap)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

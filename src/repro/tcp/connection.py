@@ -173,7 +173,7 @@ class TCPConnection:
         """Send a SYN (active open)."""
         if self.state != State.CLOSED or self.stats.open_time is not None:
             raise ProtocolError("connection already opened")
-        self.stats.open_time = self.now
+        self.stats.open_time = self.sim.now
         self.state = State.SYN_SENT
         self.snd_una = self.iss
         self.snd_nxt = self.iss + 1
@@ -185,7 +185,7 @@ class TCPConnection:
         """Respond to an incoming SYN (passive open)."""
         if self.state != State.CLOSED:
             raise ProtocolError("connection already opened")
-        self.stats.open_time = self.now
+        self.stats.open_time = self.sim.now
         self.recv.init_sequence(syn.seq + 1)
         self.peer_wnd = syn.wnd
         self.peer_wnd_seen = True
@@ -202,7 +202,7 @@ class TCPConnection:
                          seq=self.iss, length=0,
                          ack=self.recv.rcv_nxt if ack else 0,
                          flags=flags, wnd=self.recv.rcv_wnd)
-        self._send_times[self.iss + 1] = self.now
+        self._send_times[self.iss + 1] = self.sim.now
         if self._timing_seq is None:
             self._timing_seq = self.iss
             self._timing_ticks = 1
@@ -219,6 +219,7 @@ class TCPConnection:
         """Queue *nbytes* of application data; returns the accepted count."""
         if self.fin_pending or self.fin_sent:
             raise ProtocolError("cannot send after close()")
+        self.protocol.notify_activity()
         accepted = self.sendbuf.write(nbytes)
         if accepted:
             self.stats.app_bytes_queued += accepted
@@ -231,6 +232,7 @@ class TCPConnection:
         """Half-close: send FIN once all queued data has been sent."""
         if self.fin_pending or self.fin_sent:
             return
+        self.protocol.notify_activity()
         self.fin_pending = True
         if self.state in (State.ESTABLISHED, State.CLOSING):
             self.output()
@@ -242,23 +244,34 @@ class TCPConnection:
         """Send as much queued data as the windows allow (BSD tcp_output)."""
         if self.state not in (State.ESTABLISHED, State.CLOSING):
             return
+        # Hot loop: the window terms are recomputed each iteration (a
+        # sent segment moves snd_nxt) but via plain locals rather than
+        # the send_window/flight_size/unsent_bytes helpers.
+        cc = self.cc
+        mss = self.mss
+        sendbuf = self.sendbuf
         while True:
-            window = self.send_window
-            usable = window - self.flight_size()
-            unsent = self.unsent_bytes()
+            snd_nxt = self.snd_nxt
+            flight = snd_nxt - self.snd_una
+            window = cc.cwnd
+            peer_wnd = self.peer_wnd
+            if peer_wnd < window:
+                window = peer_wnd
+            usable = window - flight
+            unsent = sendbuf.queued_end - snd_nxt
             if unsent > 0 and usable > 0:
-                length = min(self.mss, unsent, usable)
-                if length < self.mss and self.nagle and self.flight_size() > 0:
+                length = min(mss, unsent, usable)
+                if length < mss and self.nagle and flight > 0:
                     # Nagle / silly-window avoidance: hold sub-MSS
                     # segments while data is outstanding.
                     break
                 if self._pacing_blocked():
                     break
-                self._send_data_segment(self.snd_nxt, length)
+                self._send_data_segment(snd_nxt, length)
                 self._pacing_charge(length)
                 continue
             if (self.fin_pending and not self.fin_sent and unsent == 0
-                    and self.snd_nxt == self.sendbuf.queued_end):
+                    and snd_nxt == sendbuf.queued_end):
                 self._send_fin()
             break
 
@@ -268,18 +281,20 @@ class TCPConnection:
         return tuple(self.recv.reasm.intervals()[:MAX_SACK_BLOCKS])
 
     def _send_data_segment(self, seq: int, length: int) -> None:
+        now = self.sim.now
+        stats = self.stats
+        recv = self.recv
+        record = self.tracer.record
         end_seq = seq + length
         is_retx = end_seq <= self.snd_max
-        flags = FLAG_ACK
         seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
-                         seq=seq, length=length, ack=self.recv.rcv_nxt,
-                         flags=flags, wnd=self.recv.rcv_wnd,
-                         sack=self._sack_blocks())
-        self.recv.ack_sent()
+                         seq, length, recv.rcv_nxt, FLAG_ACK, recv.rcv_wnd,
+                         self._sack_blocks() if self.sack_enabled else ())
+        recv.delack_pending = False  # inlined recv.ack_sent()
         if is_retx:
-            self.stats.retransmitted_bytes += length
-            self.stats.retransmit_segments += 1
-            self._trace(Kind.RETX, seq, length)
+            stats.retransmitted_bytes += length
+            stats.retransmit_segments += 1
+            record(now, Kind.RETX, seq, length)
             if end_seq in self._send_times:
                 self._ambiguous.add(end_seq)
             # Karn: a retransmission covering the timed segment
@@ -288,15 +303,15 @@ class TCPConnection:
                     and seq <= self._timing_seq < end_seq):
                 self._timing_seq = None
         else:
-            self._trace(Kind.SEND, seq, length)
+            record(now, Kind.SEND, seq, length)
             if self._timing_seq is None:
                 self._timing_seq = seq
                 self._timing_ticks = 1
-        self._send_times[end_seq] = self.now
-        self.stats.bytes_sent_total += length
-        self.stats.segments_sent += 1
-        if self.stats.first_send_time is None:
-            self.stats.first_send_time = self.now
+        self._send_times[end_seq] = now
+        stats.bytes_sent_total += length
+        stats.segments_sent += 1
+        if stats.first_send_time is None:
+            stats.first_send_time = now
         if end_seq > self.snd_nxt:
             self.snd_nxt = end_seq
         if end_seq > self.snd_max:
@@ -304,8 +319,8 @@ class TCPConnection:
         if self._checker is not None:
             self._checker.note_sent(self, seq, end_seq)
         self._arm_rexmt()
-        self.cc.on_segment_sent(seq, length, end_seq, is_retx, self.now)
-        self._trace(Kind.FLIGHT, self.flight_size())
+        self.cc.on_segment_sent(seq, length, end_seq, is_retx, now)
+        record(now, Kind.FLIGHT, self.snd_nxt - self.snd_una)
         self._transmit(seg)
 
     def _send_fin(self) -> None:
@@ -316,7 +331,7 @@ class TCPConnection:
         self.recv.ack_sent()
         self.fin_sent = True
         self.fin_end = seq + 1
-        self._send_times[self.fin_end] = self.now
+        self._send_times[self.fin_end] = self.sim.now
         if self.fin_end > self.snd_nxt:
             self.snd_nxt = self.fin_end
         if self.fin_end > self.snd_max:
@@ -377,27 +392,28 @@ class TCPConnection:
                          flags=FLAG_ACK | FLAG_FIN, wnd=self.recv.rcv_wnd)
         self.recv.ack_sent()
         if self.fin_end is not None:
-            self._send_times[self.fin_end] = self.now
+            self._send_times[self.fin_end] = self.sim.now
             self._ambiguous.add(self.fin_end)
         self._arm_rexmt()
         self._transmit(seg)
 
     def send_ack(self) -> None:
         """Send a pure ACK now (with SACK blocks when enabled)."""
+        recv = self.recv
         seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
-                         seq=self.snd_nxt, length=0, ack=self.recv.rcv_nxt,
-                         flags=FLAG_ACK, wnd=self.recv.rcv_wnd,
-                         sack=self._sack_blocks())
+                         self.snd_nxt, 0, recv.rcv_nxt, FLAG_ACK,
+                         recv.rcv_wnd,
+                         self._sack_blocks() if self.sack_enabled else ())
         self.recv.ack_sent()
         self._transmit(seg)
         # One echo (at least) per congestion mark.
         self._ece_pending = False
 
     def _transmit(self, seg: TCPSegment) -> None:
-        if self.ecn_enabled and self._ece_pending and seg.has_ack:
+        if self.ecn_enabled and self._ece_pending and seg.flags & FLAG_ACK:
             seg.flags |= FLAG_ECE
         packet = Packet(self.flow.local_addr, self.flow.remote_addr,
-                        seg, seg.wire_size, created_at=self.now,
+                        seg, seg.wire_size, created_at=self.sim.now,
                         ecn_capable=self.ecn_enabled and seg.length > 0)
         self.protocol.host.send_packet(packet)
 
@@ -410,29 +426,34 @@ class TCPConnection:
         ``ecn_marked`` reports that the carrying packet received a
         congestion mark in the network (set by the demultiplexer).
         """
+        # Flag bits are tested directly (seg.flags & FLAG_*) on this
+        # path: the syn/has_ack/fin properties cost a descriptor call
+        # per test, which adds up at one segment per data event.
+        flags = seg.flags
         if self.ecn_enabled and ecn_marked:
             self._ece_pending = True
-        if self.state == State.SYN_SENT:
+        state = self.state
+        if state == State.SYN_SENT:
             self._handle_syn_sent(seg)
             if self._checker is not None:
                 self._checker.on_segment_processed(self)
             return
-        if self.state == State.SYN_RCVD:
-            if seg.has_ack and seg.ack >= self.iss + 1:
+        if state == State.SYN_RCVD:
+            if flags & FLAG_ACK and seg.ack >= self.iss + 1:
                 self._become_established(seg)
                 # Fall through: the segment may carry data too.
-            elif seg.syn:
+            elif flags & FLAG_SYN:
                 # Our SYN-ACK was lost; resend it.
                 self._send_syn(ack=True)
                 return
-        if self.state == State.CLOSED:
+        elif state == State.CLOSED:
             # Residual segments after close (e.g. a retransmitted FIN):
             # re-ACK so the peer can finish, then ignore.
-            if seg.length > 0 or seg.fin:
+            if seg.length > 0 or flags & FLAG_FIN:
                 self.send_ack()
             return
 
-        if seg.has_ack:
+        if flags & FLAG_ACK:
             self._process_ack(seg)
 
         delivered, action = self.recv.process_data(seg)
@@ -440,11 +461,8 @@ class TCPConnection:
             self.on_data(self, delivered)
         self.stats.bytes_received += delivered
 
-        fin_action = self._process_fin(seg)
-        if fin_action or action == AckAction.NOW:
-            if action == AckAction.NOW and seg.length == 0 and not seg.fin \
-                    and seg.seq > self.recv.rcv_nxt:
-                pass  # pure stray; still ack below for simplicity
+        fin_action = flags & FLAG_FIN and self._process_fin(seg)
+        if fin_action or action is AckAction.NOW:
             self.send_ack()
 
         self._maybe_done()
@@ -462,14 +480,14 @@ class TCPConnection:
 
     def _become_established(self, seg: TCPSegment) -> None:
         self.state = State.ESTABLISHED
-        self.stats.established_time = self.now
+        self.stats.established_time = self.sim.now
         self.peer_wnd = seg.wnd
         self.peer_wnd_seen = True
         if seg.has_ack and seg.ack == self.iss + 1:
             self._note_ack_progress(seg.ack)
         self._trace(Kind.ESTABLISHED)
         self._trace(Kind.STATE, self.state.value)
-        self.cc.on_established(self.now)
+        self.cc.on_established(self.sim.now)
         if self.on_established is not None:
             self.on_established(self)
         self.output()
@@ -503,31 +521,37 @@ class TCPConnection:
         ack = seg.ack
         if ack > self.snd_max:
             return  # acks data never sent; ignore
-        if self.ecn_enabled and seg.ece:
+        flags = seg.flags
+        if self.ecn_enabled and flags & FLAG_ECE:
             self.ecn_echoes_received += 1
-            self.cc.on_ecn_echo(self.now)
+            self.cc.on_ecn_echo(self.sim.now)
         if self.sack_enabled and seg.sack:
             for start, end in seg.sack:
                 self.sack_board.add(start, min(end, self.snd_max))
-        window_changed = (seg.wnd != self.peer_wnd)
-        if ack > self.snd_una:
-            self.peer_wnd = seg.wnd
+        seg_wnd = seg.wnd
+        snd_una = self.snd_una
+        if ack > snd_una:
+            self.peer_wnd = seg_wnd
             self._handle_new_ack(ack, seg)
-        elif (ack == self.snd_una and seg.length == 0 and not seg.syn
-              and not seg.fin and self.snd_nxt > self.snd_una
-              and not window_changed):
+        elif (ack == snd_una and seg.length == 0
+              and not flags & (FLAG_SYN | FLAG_FIN)
+              and self.snd_nxt > snd_una
+              and seg_wnd == self.peer_wnd):
             self.dupacks += 1
             self.stats.dup_acks_received += 1
             self._trace(Kind.DUPACK_RX, ack, self.dupacks)
-            self.cc.on_dup_ack(self.dupacks, self.now)
+            self.cc.on_dup_ack(self.dupacks, self.sim.now)
             self.output()
         else:
-            self.peer_wnd = seg.wnd
+            self.peer_wnd = seg_wnd
 
     def _handle_new_ack(self, ack: int, seg: TCPSegment) -> None:
+        now = self.sim.now
+        stats = self.stats
+        record = self.tracer.record
         acked = ack - self.snd_una
-        self.stats.acks_received += 1
-        self._trace(Kind.ACK_RX, ack)
+        stats.acks_received += 1
+        record(now, Kind.ACK_RX, ack)
         # Coarse RTT sample (one timed segment at a time, Karn-guarded).
         if self._timing_seq is not None and ack > self._timing_seq:
             self.coarse_rtt.update(self._timing_ticks)
@@ -541,38 +565,38 @@ class TCPConnection:
             is_fin_sample = (self.fin_end is not None and ack == self.fin_end
                              and self.sendbuf.queued_end < ack)
             self.fine_rtt.update(sample, update_base=not is_fin_sample)
-            self.stats.note_rtt(sample)
-            self._trace(Kind.RTT_SAMPLE, sample * 1e6)
+            stats.note_rtt(sample)
+            record(now, Kind.RTT_SAMPLE, sample * 1e6)
             if is_fin_sample:
                 sample = None
         self._purge_send_times(ack)
         self.snd_una = ack
-        if self.snd_nxt < self.snd_una:
+        if self.snd_nxt < ack:
             # After a timeout rolled snd_nxt back, an ACK for the
             # original (pre-rollback) transmissions can pass it; pull
             # snd_nxt forward so the flight never goes negative (the
             # same guard 4.3 BSD applies after ACK processing).
-            self.snd_nxt = self.snd_una
+            self.snd_nxt = ack
         if self._checker is not None:
             self._checker.on_ack(self, ack)
         self.sack_board.advance_to(ack)
         freed = self.sendbuf.ack_to(ack)
         if freed:
-            self.stats.app_bytes_acked += freed
-            self.stats.last_ack_time = self.now
+            stats.app_bytes_acked += freed
+            stats.last_ack_time = now
         if self.fin_sent and self.fin_end is not None and ack >= self.fin_end:
             self.fin_acked = True
-            self.stats.last_ack_time = self.now
+            stats.last_ack_time = now
         self.dupacks = 0
         self.rexmt_shift = 0
         self.consecutive_timeouts = 0
-        self.cc.on_new_ack(acked, self.now, sample)
-        if self.snd_una >= self.snd_max:
+        self.cc.on_new_ack(acked, now, sample)
+        if ack >= self.snd_max:
             self.t_rexmt = None
         else:
             self._arm_rexmt(force=True)
-        self._trace(Kind.SND_WND, min(self.sendbuf.capacity, self.peer_wnd))
-        self._trace(Kind.FLIGHT, self.flight_size())
+        record(now, Kind.SND_WND, min(self.sendbuf.capacity, self.peer_wnd))
+        record(now, Kind.FLIGHT, self.snd_nxt - self.snd_una)
         self.output()
         if freed and self.on_send_space is not None:
             self.on_send_space(self)
@@ -597,7 +621,7 @@ class TCPConnection:
                 and self.state != State.CLOSED):
             self.state = State.CLOSED
             self.t_rexmt = None
-            self.stats.close_time = self.now
+            self.stats.close_time = self.sim.now
             self._trace(Kind.STATE, self.state.value)
             self.protocol.connection_closed(self)
             if self.on_closed is not None:
@@ -611,7 +635,7 @@ class TCPConnection:
         ts = self._send_times.get(ack)
         if ts is None or ack in self._ambiguous:
             return None
-        return self.now - ts
+        return self.sim.now - ts
 
     def _purge_send_times(self, ack: int) -> None:
         stale = [k for k in self._send_times if k <= ack]
@@ -658,6 +682,22 @@ class TCPConnection:
         if self.recv.delack_pending:
             self.send_ack()
 
+    def needs_coarse_timers(self) -> bool:
+        """False only when the host's periodic timers have no work here.
+
+        Used by the protocol's opt-in idle suppression: a connection
+        is quiescent when it is established with nothing in flight,
+        nothing queued, no retransmit countdown, and no delayed ACK
+        pending.  Everything else (handshake, FIN exchange, zero-window
+        persist) conservatively keeps the timers running.
+        """
+        return (self.state != State.ESTABLISHED
+                or self.t_rexmt is not None
+                or self.snd_nxt != self.snd_una
+                or self.sendbuf.queued_end != self.snd_nxt
+                or self.fin_pending
+                or self.recv.delack_pending)
+
     def _arm_rexmt(self, force: bool = False) -> None:
         if self.t_rexmt is None or force:
             self.t_rexmt = self.coarse_rtt.backed_off_rto(self.rexmt_shift)
@@ -672,7 +712,7 @@ class TCPConnection:
         self.rexmt_shift = min(self.rexmt_shift + 1, C.MAX_REXMT_SHIFT)
         self._timing_seq = None  # Karn
         self.dupacks = 0
-        self.cc.on_coarse_timeout(self.now)
+        self.cc.on_coarse_timeout(self.sim.now)
         self._arm_rexmt(force=True)
         if self.state in (State.SYN_SENT, State.SYN_RCVD):
             self._send_syn(ack=(self.state == State.SYN_RCVD))
@@ -689,14 +729,18 @@ class TCPConnection:
     def _pacing_blocked(self) -> bool:
         """True when pacing defers transmission; reschedules output."""
         rate = self.cc.pacing_rate()
-        if rate is None or self.now >= self._pace_next_time:
+        if rate is None or self.sim.now >= self._pace_next_time:
             return False
-        if self._pace_event is None or self._pace_event.cancelled:
+        if self._pace_event is None:
             self._pace_event = self.sim.schedule(
-                self._pace_next_time - self.now, self._pace_fire)
+                self._pace_next_time - self.sim.now, self._pace_fire)
         return True
 
     def _pace_fire(self) -> None:
+        # Null the handle first: a fired Event is dead (its object may
+        # be recycled by the engine's pool), so holding it would both
+        # pin a stale args tuple and make any later liveness check on
+        # it meaningless.  `is None` is the only valid pending test.
         self._pace_event = None
         self.output()
 
@@ -705,7 +749,7 @@ class TCPConnection:
         rate = self.cc.pacing_rate()
         if rate is None or rate <= 0:
             return
-        base = max(self._pace_next_time, self.now)
+        base = max(self._pace_next_time, self.sim.now)
         self._pace_next_time = base + length / rate
 
     def _abort(self) -> None:
@@ -713,7 +757,7 @@ class TCPConnection:
         self.aborted = True
         self.state = State.CLOSED
         self.t_rexmt = None
-        self.stats.close_time = self.now
+        self.stats.close_time = self.sim.now
         self._trace(Kind.STATE, self.state.value)
         self.protocol.connection_closed(self)
         if self.on_closed is not None:
@@ -730,7 +774,7 @@ class TCPConnection:
     # Misc
     # ------------------------------------------------------------------
     def _trace(self, kind: Kind, a: float = 0.0, b: float = 0.0) -> None:
-        self.tracer.record(self.now, kind, a, b)
+        self.tracer.record(self.sim.now, kind, a, b)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"TCPConnection({self.flow}, {self.state.name}, "

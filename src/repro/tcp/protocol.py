@@ -12,6 +12,7 @@ machines whose clocks are not synchronised.
 
 from __future__ import annotations
 
+import os
 import random
 import zlib
 from typing import Callable, Dict, Optional, Tuple
@@ -27,6 +28,18 @@ from repro.trace.tracer import ConnectionTracer
 
 CCFactory = Callable[[], "object"]
 ConnKey = Tuple[int, str, int]  # (local port, remote addr, remote port)
+
+#: Environment switch turning idle timer suppression on by default for
+#: protocols constructed without an explicit ``idle_timer_suppression``
+#: argument.  Opt-in: suppressed ticks change ``events_processed`` (and
+#: re-armed timers lose phase alignment), so runs with this enabled are
+#: excluded from the bit-identical regression gate.
+IDLE_SUPPRESS_ENV = "REPRO_IDLE_SUPPRESS"
+
+
+def idle_suppression_default() -> bool:
+    """True when the environment enables idle timer suppression."""
+    return os.environ.get(IDLE_SUPPRESS_ENV, "") not in ("", "0")
 
 
 class Listener:
@@ -47,11 +60,18 @@ class TCPProtocol:
 
     def __init__(self, host: Host, rng: Optional[random.Random] = None,
                  slow_tick: float = C.SLOW_TICK,
-                 fast_tick: float = C.FAST_TICK):
+                 fast_tick: float = C.FAST_TICK,
+                 idle_timer_suppression: Optional[bool] = None):
         from repro.sim.process import PeriodicTimer
 
         self.host = host
         self.sim = host.sim
+        if idle_timer_suppression is None:
+            idle_timer_suppression = idle_suppression_default()
+        self.idle_timer_suppression = idle_timer_suppression
+        # True while the periodic timers are parked because every
+        # connection is quiescent; any activity re-arms them.
+        self._suppressed = False
         # Default seed from a *stable* hash of the host name: Python's
         # builtin hash() is randomized per process and would make runs
         # unreproducible across invocations.
@@ -159,16 +179,23 @@ class TCPProtocol:
     # Demultiplexing
     # ------------------------------------------------------------------
     def _packet_arrived(self, packet: Packet) -> None:
+        # Hot path: every inbound segment on the host passes through
+        # here.  The common case — an established connection — is one
+        # dict probe and a branch; listener/unknown handling is pushed
+        # behind it.
         seg = packet.payload
-        if not isinstance(seg, TCPSegment):
+        if type(seg) is not TCPSegment and not isinstance(seg, TCPSegment):
             self.segments_dropped += 1
             return
-        key = (seg.dst_port, packet.src, seg.src_port)
-        conn = self.connections.get(key)
+        conn = self.connections.get((seg.dst_port, packet.src, seg.src_port))
         if conn is not None:
             self.segments_demuxed += 1
+            if self._suppressed:
+                self._ensure_timers()
             conn.handle_segment(seg, ecn_marked=packet.ecn_marked)
             return
+        if self._suppressed:
+            self._ensure_timers()
         if seg.syn and not seg.has_ack:
             listener = self.listeners.get(seg.dst_port)
             if listener is not None:
@@ -192,19 +219,35 @@ class TCPProtocol:
     # Timers
     # ------------------------------------------------------------------
     def _ensure_timers(self) -> None:
+        self._suppressed = False
         if not self._slow.running:
             self._slow.start()
         if not self._fast.running:
             self._fast.start()
 
+    def notify_activity(self) -> None:
+        """Re-arm suppressed timers; called on application sends."""
+        if self._suppressed:
+            self._ensure_timers()
+
     def _slow_tick(self) -> None:
         active = False
+        idle = True
         for conn in list(self.connections.values()):
             if not conn.is_closed:
                 conn.slow_tick()
-                active = active or not conn.is_closed
+                if not conn.is_closed:
+                    active = True
+                    if idle and conn.needs_coarse_timers():
+                        idle = False
         if not active:
             self._stop_timers()
+        elif idle and self.idle_timer_suppression:
+            # Every connection is quiescent: park both timers instead
+            # of ticking through the idle period.  Any inbound segment
+            # or application send re-arms them (see _packet_arrived /
+            # notify_activity).  Opt-in — this changes event counts.
+            self._suppress_timers()
 
     def _fast_tick(self) -> None:
         for conn in list(self.connections.values()):
@@ -212,8 +255,14 @@ class TCPProtocol:
                 conn.fast_tick()
 
     def _stop_timers(self) -> None:
+        self._suppressed = False
         self._slow.stop()
         self._fast.stop()
+
+    def _suppress_timers(self) -> None:
+        self._slow.suspend()
+        self._fast.suspend()
+        self._suppressed = True
 
     def connection_closed(self, conn: TCPConnection) -> None:
         """Hook called by connections reaching CLOSED; stops timers when idle."""

@@ -78,26 +78,30 @@ class ReceiverHalf:
         ``delivered_bytes`` is how much new in-order data became
         available to the application.
         """
-        if seg.length == 0:
+        length = seg.length
+        if length == 0:
             return 0, AckAction.NONE
         self.segments_received += 1
 
-        had_gaps = self.reasm.has_gaps
-        if seg.seq + seg.length <= self.rcv_nxt:
+        reasm = self.reasm
+        seq = seg.seq
+        rcv_nxt = reasm.rcv_nxt
+        had_gaps = bool(reasm._intervals)
+        if seq + length <= rcv_nxt:
             # Entirely old data: the ACK that covered it must have been
             # lost.  Re-ACK immediately.
             self.duplicate_segments += 1
             return 0, AckAction.NOW
-        if seg.seq > self.rcv_nxt:
+        if seq > rcv_nxt:
             # A hole precedes this segment: buffer it and emit an
             # immediate duplicate ACK.
             self.out_of_order_segments += 1
-            self.reasm.add(seg.seq, seg.length)
+            reasm.add(seq, length)
             return 0, AckAction.NOW
 
-        delivered = self.reasm.add(seg.seq, seg.length)
+        delivered = reasm.add(seq, length)
         self.bytes_delivered += delivered
-        if had_gaps or self.reasm.has_gaps:
+        if had_gaps or reasm._intervals:
             # Filling (or partially filling) a hole: ACK right away so
             # the sender exits recovery promptly.
             return delivered, AckAction.NOW

@@ -8,8 +8,13 @@ retransmitted.  Figure 3 keys the windows panel (threshold window,
 send window, congestion window, bytes in transit) and Figure 8 the
 Vegas CAM panel (Expected/Actual rates against the α/β thresholds).
 
-Each extractor below turns a :class:`ConnectionTracer`'s records into
-one of those series as ``(time, value)`` tuples.
+Each extractor below turns a :class:`ConnectionTracer`'s trace into
+one of those series as ``(time, value)`` tuples.  Extractors read the
+tracer's columnar storage via :meth:`ConnectionTracer.rows` /
+:meth:`ConnectionTracer.points` rather than the materialized
+``records`` list — a trace is extracted from many times per analysis,
+and building ``Record`` tuples just to unpack them again dominated
+the analysis phase.
 """
 
 from __future__ import annotations
@@ -24,28 +29,28 @@ Series = List[Tuple[float, float]]
 
 def step_series(tracer: ConnectionTracer, kind: Kind) -> Series:
     """(time, value-a) points for every record of *kind*, in order."""
-    return [(r.time, r.a) for r in tracer.of_kind(kind)]
+    return tracer.points(kind)
 
 
 def send_marks(tracer: ConnectionTracer) -> List[float]:
     """Times of every segment transmission (Figure 2, element 2)."""
-    want = {int(Kind.SEND), int(Kind.RETX)}
-    return [r.time for r in tracer.records if r.kind in want]
+    want = (int(Kind.SEND), int(Kind.RETX))
+    return [t for t, k, _, _ in tracer.rows() if k in want]
 
 
 def ack_marks(tracer: ConnectionTracer) -> List[float]:
     """Times of every new-ACK arrival (Figure 2, element 1)."""
-    return [r.time for r in tracer.of_kind(Kind.ACK_RX)]
+    return [t for t, _ in tracer.points(Kind.ACK_RX)]
 
 
 def timer_diamonds(tracer: ConnectionTracer) -> List[float]:
     """Coarse-timer check times (Figure 2, element 4)."""
-    return [r.time for r in tracer.of_kind(Kind.TIMER_CHECK)]
+    return [t for t, _ in tracer.points(Kind.TIMER_CHECK)]
 
 
 def timeout_circles(tracer: ConnectionTracer) -> List[float]:
     """Coarse-timeout times (Figure 2, element 5)."""
-    return [r.time for r in tracer.of_kind(Kind.COARSE_TIMEOUT)]
+    return [t for t, _ in tracer.points(Kind.COARSE_TIMEOUT)]
 
 
 def loss_lines(tracer: ConnectionTracer) -> List[float]:
@@ -56,16 +61,18 @@ def loss_lines(tracer: ConnectionTracer) -> List[float]:
     it was lost."  We find, for every RETX record, the most recent
     earlier SEND/RETX record covering the same starting sequence.
     """
+    send_kind = int(Kind.SEND)
+    retx_kind = int(Kind.RETX)
     last_sent_at = {}
     lines: List[float] = []
-    for r in tracer.records:
-        if r.kind == int(Kind.SEND):
-            last_sent_at[r.a] = r.time
-        elif r.kind == int(Kind.RETX):
-            original = last_sent_at.get(r.a)
+    for t, k, a, _ in tracer.rows():
+        if k == send_kind:
+            last_sent_at[a] = t
+        elif k == retx_kind:
+            original = last_sent_at.get(a)
             if original is not None:
                 lines.append(original)
-            last_sent_at[r.a] = r.time
+            last_sent_at[a] = t
     return lines
 
 
@@ -75,10 +82,10 @@ def kilobyte_marks(tracer: ConnectionTracer, every_kb: int = 100) -> Series:
     sent = 0
     next_mark = every_kb * 1024
     marks: Series = []
-    for r in tracer.of_kind(Kind.SEND):
-        sent += r.b
+    for t, b in tracer.points(Kind.SEND, field="b"):
+        sent += b
         while sent >= next_mark:
-            marks.append((r.time, next_mark / 1024))
+            marks.append((t, next_mark / 1024))
             next_mark += every_kb * 1024
     return marks
 
@@ -87,8 +94,8 @@ def sending_rate_series(tracer: ConnectionTracer,
                         window_segments: int = 12) -> Series:
     """Average sending rate "calculated from the last 12 segments"
     (Figure 1, bottom graph), in bytes/second."""
-    sends = [(r.time, r.b) for r in tracer.records
-             if r.kind in (int(Kind.SEND), int(Kind.RETX)) and r.b > 0]
+    want = (int(Kind.SEND), int(Kind.RETX))
+    sends = [(t, b) for t, k, _, b in tracer.rows() if k in want and b > 0]
     series: Series = []
     for i in range(window_segments, len(sends)):
         t0 = sends[i - window_segments][0]
@@ -102,17 +109,19 @@ def sending_rate_series(tracer: ConnectionTracer,
 def cam_series(tracer: ConnectionTracer) -> Tuple[Series, Series]:
     """(expected, actual) rate series from Vegas CAM decisions
     (Figure 8, elements 2 and 3), in bytes/second."""
+    cam_kind = int(Kind.CAM)
     expected: Series = []
     actual: Series = []
-    for r in tracer.of_kind(Kind.CAM):
-        expected.append((r.time, r.a))
-        actual.append((r.time, r.b))
+    for t, k, a, b in tracer.rows():
+        if k == cam_kind:
+            expected.append((t, a))
+            actual.append((t, b))
     return expected, actual
 
 
 def cam_diff_series(tracer: ConnectionTracer) -> Series:
     """Diff in router buffers at each CAM decision."""
-    return [(r.time, r.a / 1000.0) for r in tracer.of_kind(Kind.CAM_DECISION)]
+    return [(t, a / 1000.0) for t, a in tracer.points(Kind.CAM_DECISION)]
 
 
 def rtt_series(tracer: ConnectionTracer) -> Series:
@@ -122,7 +131,7 @@ def rtt_series(tracer: ConnectionTracer) -> Series:
     queueing delay before each loss; Vegas' stay near BaseRTT plus its
     α..β segments.
     """
-    return [(r.time, r.a / 1e6) for r in tracer.of_kind(Kind.RTT_SAMPLE)]
+    return [(t, a / 1e6) for t, a in tracer.points(Kind.RTT_SAMPLE)]
 
 
 def value_at(series: Series, time: float) -> Optional[float]:

@@ -11,6 +11,16 @@ segments that are dropped".
 Tracing is off by default in experiments that only need aggregate
 statistics; the overhead of a disabled tracer is a single attribute
 test.
+
+Storage is columnar: four parallel scalar arrays instead of one
+``Record`` object per entry (the paper kept "the amount of data
+associated with each trace entry small (8 bytes)" for the same
+reason).  Appending four floats costs a fraction of allocating a
+tuple subclass, and a million-record trace holds plain floats instead
+of a million 80-byte ``Record`` objects.  The ``Record`` API is
+preserved by lazy materialization: :attr:`records` and
+:meth:`of_kind` build ``Record`` tuples on demand (cached until the
+next write).
 """
 
 from __future__ import annotations
@@ -24,29 +34,81 @@ from repro.trace.records import Kind, Record
 class ConnectionTracer:
     """Collects trace records for one TCP connection."""
 
+    __slots__ = ("name", "enabled", "_times", "_kinds", "_a", "_b",
+                 "_materialized")
+
     def __init__(self, name: str = "conn", enabled: bool = True):
         self.name = name
         self.enabled = enabled
-        self.records: List[Record] = []
+        self._times: List[float] = []
+        self._kinds: List[int] = []
+        self._a: List[float] = []
+        self._b: List[float] = []
+        self._materialized: Optional[List[Record]] = None
 
     def record(self, time: float, kind: Kind, a: float = 0.0, b: float = 0.0) -> None:
+        # *kind* is stored as-is: Kind is an IntEnum, so members hash
+        # and compare equal to the plain ints the readers filter with —
+        # no int() conversion needed on this per-record path.
         if self.enabled:
-            self.records.append(Record(time, int(kind), a, b))
+            self._times.append(time)
+            self._kinds.append(kind)
+            self._a.append(a)
+            self._b.append(b)
+            self._materialized = None
+
+    @property
+    def records(self) -> List[Record]:
+        """All records as :class:`Record` tuples (lazily materialized)."""
+        if self._materialized is None:
+            self._materialized = [
+                Record(t, k, a, b)
+                for t, k, a, b in zip(self._times, self._kinds,
+                                      self._a, self._b)
+            ]
+        return self._materialized
 
     def of_kind(self, kind: Kind) -> List[Record]:
         """All records of the given kind, in time order."""
         want = int(kind)
-        return [r for r in self.records if r.kind == want]
+        times, a, b = self._times, self._a, self._b
+        return [Record(times[i], want, a[i], b[i])
+                for i, k in enumerate(self._kinds) if k == want]
+
+    def rows(self):
+        """Iterate ``(time, kind, a, b)`` tuples in time order.
+
+        The zero-copy spelling of :attr:`records` for analysis loops:
+        plain tuples straight off the columns, no ``Record``
+        materialization.
+        """
+        return zip(self._times, self._kinds, self._a, self._b)
+
+    def points(self, kind: Kind, field: str = "a") -> List[Tuple[float, float]]:
+        """``(time, value)`` pairs for every record of *kind*.
+
+        *field* selects the value column (``"a"`` or ``"b"``).  This is
+        the common series-extraction shape, served directly from the
+        columns.
+        """
+        want = int(kind)
+        times = self._times
+        vals = self._a if field == "a" else self._b
+        return [(times[i], vals[i])
+                for i, k in enumerate(self._kinds) if k == want]
 
     def count(self, kind: Kind) -> int:
-        want = int(kind)
-        return sum(1 for r in self.records if r.kind == want)
+        return self._kinds.count(int(kind))
 
     def clear(self) -> None:
-        self.records.clear()
+        self._times.clear()
+        self._kinds.clear()
+        self._a.clear()
+        self._b.clear()
+        self._materialized = None
 
     def __len__(self) -> int:
-        return len(self.records)
+        return len(self._times)
 
 
 #: Shared disabled tracer used when a connection is created without one.

@@ -1,0 +1,345 @@
+"""Tests for the perf subsystem and the engine's hot-path rewrites.
+
+Three layers:
+
+* the optimized engine against its seed-equivalent slow path — the
+  same registry cell must produce identical flow statistics and
+  ``events_processed`` on both (the bit-identical guarantee the
+  regression gate relies on);
+* the fast path's mechanics in isolation (event free list, tuple heap,
+  cancel semantics after recycling);
+* the :class:`~repro.perf.counters.PerfProbe` counters and the
+  ``repro bench`` comparator logic.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import ReproError
+from repro.perf import runtime as perf_runtime
+from repro.perf.bench import SCHEMA_VERSION, compare
+from repro.perf.counters import PerfProbe
+from repro.sim.engine import SLOWPATH_ENV, Event, Simulator
+from repro.trace.records import Kind
+from repro.trace.tracer import ConnectionTracer
+
+
+# ----------------------------------------------------------------------
+# Fast path vs slow path determinism
+# ----------------------------------------------------------------------
+class TestSlowPathEquivalence:
+    def _run_figure6(self):
+        from repro.harness.registry import Cell, run_cell
+
+        return run_cell(Cell.make("figure6", seed=0))
+
+    def test_registry_cell_is_bit_identical(self, monkeypatch):
+        """The tentpole guarantee: same cell, both engines, same numbers.
+
+        The engine path is chosen per-Simulator at construction from
+        the environment, so the two runs share one process.
+        """
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        fast = self._run_figure6()
+        monkeypatch.setenv(SLOWPATH_ENV, "1")
+        slow = self._run_figure6()
+        assert fast == slow
+        assert fast["events_processed"] > 0
+
+    def test_slow_path_flag_selects_object_heap(self, monkeypatch):
+        monkeypatch.setenv(SLOWPATH_ENV, "1")
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert isinstance(sim._heap[0], Event)
+        monkeypatch.delenv(SLOWPATH_ENV)
+        sim = Simulator()
+        sim.schedule(1.0, lambda: None)
+        assert isinstance(sim._heap[0], tuple)
+
+    def test_slow_path_ordering_and_cancel(self, monkeypatch):
+        monkeypatch.setenv(SLOWPATH_ENV, "1")
+        sim = Simulator()
+        fired = []
+        sim.schedule(2.0, fired.append, "late")
+        sim.schedule(1.0, fired.append, "early")
+        victim = sim.schedule(1.5, fired.append, "never")
+        victim.cancel()
+        assert sim.run() == 2
+        assert fired == ["early", "late"]
+
+
+# ----------------------------------------------------------------------
+# Event free list
+# ----------------------------------------------------------------------
+class TestEventPool:
+    def test_fired_event_is_recycled(self, monkeypatch):
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        sim = Simulator()
+        first = sim.schedule(0.0, lambda: None)
+        sim.run()
+        second = sim.schedule(0.0, lambda: None)
+        assert second is first  # came back off the free list
+        assert not second.cancelled
+
+    def test_cancelled_event_is_recycled(self, monkeypatch):
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        sim = Simulator()
+        victim = sim.schedule(1.0, lambda: None)
+        keeper = []
+        sim.schedule(2.0, keeper.append, "ran")
+        victim.cancel()
+        sim.run()
+        assert keeper == ["ran"]
+        assert victim in sim._pool
+
+    def test_cancel_after_fire_is_noop(self, monkeypatch):
+        """A fired handle can be cancelled safely — before reuse."""
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        sim = Simulator()
+        handle = sim.schedule(0.0, lambda: None)
+        later = []
+        sim.schedule(1.0, later.append, "ran")
+        sim.run(until=0.5)
+        handle.cancel()  # already fired: must not disturb pending work
+        sim.run()
+        assert later == ["ran"]
+
+    def test_callback_may_cancel_its_own_event(self, monkeypatch):
+        """The recycle happens after dispatch, so self-cancel is safe."""
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        sim = Simulator()
+        handles = {}
+
+        def self_cancel():
+            handles["own"].cancel()
+
+        handles["own"] = sim.schedule(0.0, self_cancel)
+        fired = []
+        sim.schedule(1.0, fired.append, "after")
+        sim.run()
+        assert fired == ["after"]
+
+    def test_recycled_events_do_not_leak_args(self, monkeypatch):
+        monkeypatch.delenv(SLOWPATH_ENV, raising=False)
+        sim = Simulator()
+        payload = object()
+        sim.schedule(0.0, lambda _x: None, payload)
+        sim.run()
+        assert all(e.fn is None and e.args == () for e in sim._pool)
+
+
+# ----------------------------------------------------------------------
+# Idle timer suppression (opt-in)
+# ----------------------------------------------------------------------
+class TestIdleSuppression:
+    def _idle_pair(self, suppress):
+        from helpers import make_pair
+
+        pair = make_pair()
+        pair.proto_a.idle_timer_suppression = suppress
+        pair.proto_b.idle_timer_suppression = suppress
+        pair.proto_b.listen(9000)
+        conn = pair.proto_a.connect("B", 9000)
+        pair.sim.run(until=2.0)
+        conn.app_send(4096)
+        pair.sim.run(until=10.0)
+        return pair, conn
+
+    def test_quiescent_connection_parks_timers(self):
+        pair, conn = self._idle_pair(suppress=True)
+        assert not conn.needs_coarse_timers()
+        assert pair.proto_a._suppressed and pair.proto_b._suppressed
+        before = pair.sim.events_processed
+        pair.sim.run(until=60.0)
+        assert pair.sim.events_processed == before  # zero idle ticks
+
+    def test_default_keeps_ticking(self):
+        pair, conn = self._idle_pair(suppress=False)
+        assert not pair.proto_a._suppressed
+        before = pair.sim.events_processed
+        pair.sim.run(until=60.0)
+        assert pair.sim.events_processed > before
+
+    def test_activity_rearms_timers(self):
+        pair, conn = self._idle_pair(suppress=True)
+        pair.sim.run(until=60.0)
+        conn.app_send(4096)
+        pair.sim.run(until=90.0)
+        assert conn.snd_una == conn.sendbuf.queued_end  # delivered
+        assert pair.proto_a._suppressed  # idle again afterwards
+
+
+# ----------------------------------------------------------------------
+# Columnar tracer
+# ----------------------------------------------------------------------
+class TestColumnarTracer:
+    def _populated(self):
+        tracer = ConnectionTracer("t")
+        tracer.record(0.0, Kind.SEND, 100, 512)
+        tracer.record(0.1, Kind.CWND, 2048)
+        tracer.record(0.2, Kind.SEND, 612, 512)
+        return tracer
+
+    def test_records_match_rows(self):
+        tracer = self._populated()
+        assert [(r.time, r.kind, r.a, r.b) for r in tracer.records] == \
+            list(tracer.rows())
+
+    def test_of_kind_and_points_agree(self):
+        tracer = self._populated()
+        sends = tracer.of_kind(Kind.SEND)
+        assert [(r.time, r.a) for r in sends] == tracer.points(Kind.SEND)
+        assert [(r.time, r.b) for r in sends] == \
+            tracer.points(Kind.SEND, field="b")
+        assert tracer.count(Kind.SEND) == 2
+        assert tracer.count(Kind.RETX) == 0
+
+    def test_clear_resets_every_column(self):
+        tracer = self._populated()
+        tracer.clear()
+        assert len(tracer) == 0
+        assert tracer.records == []
+        assert list(tracer.rows()) == []
+
+    def test_disabled_tracer_records_nothing(self):
+        tracer = ConnectionTracer("off", enabled=False)
+        tracer.record(0.0, Kind.SEND, 1)
+        assert len(tracer) == 0
+
+    def test_materialization_is_invalidated_by_writes(self):
+        tracer = self._populated()
+        assert len(tracer.records) == 3
+        tracer.record(0.3, Kind.ACK_RX, 612)
+        assert len(tracer.records) == 4
+
+
+# ----------------------------------------------------------------------
+# PerfProbe
+# ----------------------------------------------------------------------
+class TestPerfProbe:
+    def test_counts_dispatched_events(self):
+        with perf_runtime.profiling() as probe:
+            sim = Simulator()
+            for i in range(5):
+                sim.schedule(float(i), lambda: None)
+            processed = sim.run()
+        assert probe.events == processed == 5
+        assert probe.peak_heap >= 1
+
+    def test_component_counts_use_qualnames(self):
+        with perf_runtime.profiling() as probe:
+            sim = Simulator()
+            sim.schedule(0.0, _named_callback)
+            sim.schedule(1.0, _named_callback)
+            sim.run()
+        assert probe.component_counts["_named_callback"] == 2
+        assert probe.top_components() == [("_named_callback", 2)]
+
+    def test_phase_accumulates(self):
+        probe = PerfProbe()
+        with probe.phase("x"):
+            pass
+        first = probe.phases["x"]
+        with probe.phase("x"):
+            pass
+        assert probe.phases["x"] >= first
+        assert probe.events_per_sec("missing") == 0.0
+
+    def test_inactive_probe_costs_nothing(self):
+        sim = Simulator()
+        assert sim.perf is None
+        sim.schedule(0.0, lambda: None)
+        assert sim.run() == 1
+
+    def test_double_activation_rejected(self):
+        probe = PerfProbe()
+        perf_runtime.activate(probe)
+        try:
+            with pytest.raises(RuntimeError):
+                perf_runtime.activate(PerfProbe())
+        finally:
+            perf_runtime.deactivate()
+
+    def test_note_tracer(self):
+        probe = PerfProbe()
+        tracer = ConnectionTracer("conn1")
+        tracer.record(0.0, Kind.SEND, 1)
+        probe.note_tracer(tracer)
+        assert probe.snapshot()["tracer_records"] == {"conn1": 1}
+
+
+def _named_callback():
+    pass
+
+
+# ----------------------------------------------------------------------
+# Bench comparator
+# ----------------------------------------------------------------------
+def _doc(events=1000, peak=20, rate=50_000.0):
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "cells": {"cellA": {"events": events, "peak_heap": peak,
+                            "events_per_sec": rate}},
+    }
+
+
+class TestBenchCompare:
+    def test_identical_documents_pass(self):
+        assert compare(_doc(), _doc()) == []
+
+    def test_event_count_must_match_exactly(self):
+        problems = compare(_doc(events=1001), _doc())
+        assert len(problems) == 1 and "events = 1001" in problems[0]
+
+    def test_peak_heap_must_match_exactly(self):
+        assert compare(_doc(peak=21), _doc())
+
+    def test_timing_regression_fails_gate(self):
+        problems = compare(_doc(rate=30_000.0), _doc(rate=50_000.0))
+        assert any("events_per_sec" in p for p in problems)
+
+    def test_small_timing_wobble_passes(self):
+        assert compare(_doc(rate=45_000.0), _doc(rate=50_000.0)) == []
+
+    def test_timing_gate_can_be_disabled(self):
+        assert compare(_doc(rate=1.0), _doc(rate=50_000.0),
+                       timing=False) == []
+
+    def test_missing_cell_fails(self):
+        current = _doc()
+        current["cells"] = {}
+        problems = compare(current, _doc())
+        assert problems == ["missing bench cell: cellA"]
+
+    def test_new_cell_is_ignored(self):
+        current = _doc()
+        current["cells"]["brand_new"] = {"events": 1, "peak_heap": 1,
+                                         "events_per_sec": 1.0}
+        assert compare(current, _doc()) == []
+
+
+class TestBenchCellDeterminism:
+    def test_nondeterministic_counters_raise(self, monkeypatch):
+        from repro.perf import bench
+
+        counters = iter([(100, 5), (101, 5)])
+
+        class FlakyProbe(PerfProbe):
+            def __init__(self):
+                super().__init__()
+                self.events, self.peak_heap = next(counters)
+                self.phases = {"run": 0.01}
+
+        monkeypatch.setattr(bench, "PerfProbe", FlakyProbe, raising=False)
+        monkeypatch.setattr("repro.perf.counters.PerfProbe", FlakyProbe)
+        descriptor = {"name": "flaky",
+                      "cell": _NullCell()}
+        monkeypatch.setattr("repro.harness.registry.run_cell",
+                            lambda cell, checks=False, faults=None: {})
+        with pytest.raises(ReproError, match="nondeterministic"):
+            bench.run_bench_cell(descriptor, rounds=2)
+
+
+class _NullCell:
+    experiment = "null"
