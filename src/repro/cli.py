@@ -14,6 +14,8 @@ Usage::
     python -m repro.cli telnet
     python -m repro.cli solo --cc vegas-1,3 --size-kb 512 --buffers 15
     python -m repro.cli run-all --quick --jobs 4 --json results.json
+    python -m repro.cli run-all --quick --watchdog --retries 2
+    python -m repro.cli run-all --only table4/proto=reno/seed=0 --no-timeout
     python -m repro.cli bench --rounds 3
 
 (``python -m repro ...`` is an equivalent spelling of every command.)
@@ -241,8 +243,27 @@ def _cmd_run_all(args) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    if args.only:
+        wanted = [sel.strip() for sel in args.only.split(",") if sel.strip()]
+        cells = [cell for cell in cells
+                 if any(cell.key == sel or cell.key.startswith(sel + "/")
+                        for sel in wanted)]
+        if not cells:
+            print(f"error: --only {args.only!r} matches no cell "
+                  "(keys look like 'table2/buffers=10/proto=reno/seed=0')",
+                  file=sys.stderr)
+            return 2
     if args.jobs is not None and args.jobs < 1:
         print(f"error: --jobs must be >= 1, got {args.jobs}", file=sys.stderr)
+        return 2
+    if args.retries < 0:
+        print(f"error: --retries must be >= 0, got {args.retries}",
+              file=sys.stderr)
+        return 2
+    timeout_s = None if args.no_timeout else args.timeout
+    if timeout_s is not None and timeout_s <= 0:
+        print(f"error: --timeout must be positive, got {timeout_s}",
+              file=sys.stderr)
         return 2
     try:
         faults = registry.resolve_faults(args.faults)
@@ -260,12 +281,16 @@ def _cmd_run_all(args) -> int:
     done = [0]
 
     def progress(line: str) -> None:
-        done[0] += 1
+        # Retry notices don't settle a cell; only count terminal lines
+        # so the counter ends at exactly total.
+        if "retrying in" not in line:
+            done[0] += 1
         print(f"[{done[0]}/{total}] {line}", file=sys.stderr)
 
     report = runner.run_cells(cells, jobs=args.jobs, cache=cache,
                               progress=progress, checks=args.checks,
-                              faults=faults)
+                              faults=faults, timeout_s=timeout_s,
+                              retries=args.retries, watchdog=args.watchdog)
     doc = artifacts.build_document(
         report, mode="quick" if args.quick else "full", src_hash=src_hash)
     if args.json:
@@ -278,15 +303,21 @@ def _cmd_run_all(args) -> int:
           f"(cell wall clock {doc['run']['cell_wall_clock_s']:.1f}s); "
           f"cache: {report.cache_hits} hits / {report.cache_misses} misses")
     print(f"cell fingerprint: {artifacts.cells_fingerprint(doc)}")
+    if report.failures:
+        print(f"\nFAILED: {len(report.failures)} cell(s) quarantined "
+              "(exit 3; reproduce with `run-all --only <key> --no-timeout`):")
+        for failure in report.failures:
+            print(f"  {failure.key} [{failure.kind}] "
+                  f"after {failure.attempts} attempt(s): {failure.message}")
     if args.checks:
         violations = sum(int(r.metrics.get("invariant_violations", 0.0))
                          for r in report.results)
         print(f"invariant violations: {violations}")
-        if violations:
+        if violations and not report.failures:
             return 1
     if args.json:
         print(f"JSON artifact: {args.json}")
-    return 0
+    return 3 if report.failures else 0
 
 
 def _cmd_bench(args) -> int:
@@ -305,6 +336,8 @@ def _cmd_bench(args) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro.harness import supervisor as supervisor_mod
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate artifacts from the TCP Vegas paper "
@@ -369,6 +402,36 @@ def build_parser() -> argparse.ArgumentParser:
                          help="inject faults: a profile name "
                               "(light/heavy/flap) or 'drop=0.01,dup=...' "
                               "(see repro.faults.FaultPlan.parse)")
+    run_all.add_argument("--only", metavar="KEY[,KEY...]", default=None,
+                         help="run only the cells whose key equals (or is "
+                              "prefixed by) a selector — the way to "
+                              "reproduce one quarantined cell")
+    run_all.add_argument("--timeout", type=float, metavar="SECONDS",
+                         default=supervisor_mod.DEFAULT_TIMEOUT_S,
+                         help="per-cell wall-clock deadline under the "
+                              "supervised runner (default "
+                              f"{supervisor_mod.DEFAULT_TIMEOUT_S:g}s); a "
+                              "timed-out worker is killed, retried, and "
+                              "finally quarantined into the failure "
+                              "manifest")
+    run_all.add_argument("--no-timeout", action="store_true",
+                         help="run unsupervised in-process (no deadline, no "
+                              "quarantine) — crashes and hangs propagate "
+                              "raw, for debugging a quarantined cell")
+    run_all.add_argument("--retries", type=int, metavar="N",
+                         default=supervisor_mod.DEFAULT_RETRIES,
+                         help="re-executions of a failed cell before it is "
+                              "quarantined (default "
+                              f"{supervisor_mod.DEFAULT_RETRIES}; seeded "
+                              "deterministic backoff between attempts)")
+    run_all.add_argument("--watchdog", nargs="?", type=float,
+                         metavar="STALL_SECONDS", const=True, default=False,
+                         help="arm the simulation liveness watchdog: raise "
+                              "a typed SimulationStalled (quarantined as "
+                              "'divergence') when a cell makes zero "
+                              "connection progress for STALL_SECONDS of "
+                              "simulated time (default 30) or drains its "
+                              "event queue mid-transfer")
     run_all.set_defaults(fn=_cmd_run_all)
 
     bench = sub.add_parser(

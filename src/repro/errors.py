@@ -13,8 +13,13 @@ class ReproError(Exception):
     """Base class for all errors raised by the repro library."""
 
 
-class ConfigurationError(ReproError):
-    """An object was constructed or wired with invalid parameters."""
+class ConfigurationError(ReproError, ValueError):
+    """An object was constructed or wired with invalid parameters.
+
+    Also a :class:`ValueError`: callers validating user-supplied specs
+    (CLI fault strings, plan fields) can catch the stdlib type without
+    importing this module.
+    """
 
 
 class SimulationError(ReproError):
@@ -43,6 +48,36 @@ class InvariantViolation(SimulationError):
             message += f" (flow {flow})"
         if detail:
             message += f": {detail}"
+        super().__init__(message)
+
+
+class SimulationStalled(SimulationError):
+    """The liveness watchdog detected a stalled simulation.
+
+    Raised by :class:`repro.sim.watchdog.LivenessWatchdog` instead of
+    letting a run spin (or silently drain) forever.  ``reason`` is
+    ``"no-progress"`` (simulated time kept advancing but no registered
+    connection moved a byte for ``stalled_for`` seconds) or
+    ``"queue-drained"`` (the event heap emptied while transfers were
+    unfinished).  ``snapshot`` is a list of per-connection state dicts
+    (``snd_una``/``snd_nxt``, flight, timer status, ...) captured at
+    detection time for post-mortem diagnosis.
+    """
+
+    def __init__(self, reason: str, sim_time: float,
+                 stalled_for: float = 0.0, snapshot: object = None):
+        self.reason = reason
+        self.sim_time = sim_time
+        self.stalled_for = stalled_for
+        self.snapshot = list(snapshot) if snapshot else []
+        message = f"[t={sim_time:.6f}] simulation stalled ({reason})"
+        if reason == "no-progress":
+            message += (f": no connection progress for "
+                        f"{stalled_for:.1f}s of simulated time")
+        elif reason == "queue-drained":
+            message += ": event queue drained with transfers unfinished"
+        if self.snapshot:
+            message += f" [{len(self.snapshot)} connection(s) snapshotted]"
         super().__init__(message)
 
 

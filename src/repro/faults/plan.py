@@ -131,11 +131,25 @@ class FaultPlan:
                     ) from None
             elif key in _FLOAT_KEYS:
                 try:
-                    kwargs[_FLOAT_KEYS[key]] = float(raw)
+                    value = float(raw)
                 except ValueError:
                     raise ConfigurationError(
                         f"fault {key} must be a number, got {raw!r}"
                     ) from None
+                # Validate ranges here, naming the token exactly as the
+                # user spelled it — __post_init__ would catch the same
+                # mistakes but reports canonical field names ("dup" has
+                # already become "duplicate" by then).
+                field_name = _FLOAT_KEYS[key]
+                if field_name in _PROBABILITY_FIELDS and not 0.0 <= value <= 1.0:
+                    raise ConfigurationError(
+                        f"bad fault spec item {item!r}: {key} is a "
+                        f"probability and must be in [0, 1]")
+                if field_name not in _PROBABILITY_FIELDS and value < 0.0:
+                    raise ConfigurationError(
+                        f"bad fault spec item {item!r}: {key} is a "
+                        f"duration in seconds and must be non-negative")
+                kwargs[field_name] = value
             else:
                 known = ", ".join(sorted(_FLOAT_KEYS) + ["seed", "target"])
                 raise ConfigurationError(

@@ -13,6 +13,9 @@ through one pipeline:
   ``multiprocessing`` pool; results are bit-identical either way
   because each cell builds its own :class:`~repro.sim.engine.Simulator`
   from its own seed.
+- :mod:`repro.harness.supervisor` — supervised execution: per-cell
+  wall-clock deadlines, crash quarantine, deterministic retries, and
+  the failure manifest that lets a sweep survive pathological cells.
 - :mod:`repro.harness.cache` — an on-disk result cache under
   ``.repro-cache/`` keyed by cell key plus a content hash of
   ``src/repro``, so unchanged code never re-simulates.
@@ -34,13 +37,28 @@ from repro.harness.artifacts import (
     write_document,
 )
 from repro.harness.cache import ResultCache, compute_src_hash
-from repro.harness.registry import Cell, all_cells, cells_for, run_cell
+from repro.harness.registry import (
+    Cell,
+    all_cells,
+    cells_for,
+    register_experiment,
+    run_cell,
+    unregister_experiment,
+)
 from repro.harness.runner import CellResult, RunReport, run_cells
+from repro.harness.supervisor import (
+    FAILURE_KINDS,
+    FailureRecord,
+    retry_backoff,
+    run_supervised,
+)
 
 __all__ = [
+    "FAILURE_KINDS",
     "SCHEMA_VERSION",
     "Cell",
     "CellResult",
+    "FailureRecord",
     "ResultCache",
     "RunReport",
     "all_cells",
@@ -49,7 +67,11 @@ __all__ = [
     "cells_for",
     "compute_src_hash",
     "load_document",
+    "register_experiment",
+    "retry_backoff",
     "run_cell",
     "run_cells",
+    "run_supervised",
+    "unregister_experiment",
     "write_document",
 ]

@@ -8,6 +8,13 @@ source tree and cells, the ``cells`` array is byte-identical across
 ``wall_clock_s`` and ``cached`` bookkeeping fields, which is why
 :func:`cells_fingerprint` — the hash CI compares — covers only the
 deterministic fields.
+
+Since v2 the document also carries a ``failures`` array — the
+supervised runner's quarantine manifest (see
+:mod:`repro.harness.supervisor`): one structured record per cell that
+timed out, crashed, diverged or violated an invariant after its
+retries were exhausted.  Failures never enter the fingerprint; they
+describe what could *not* be computed.
 """
 
 from __future__ import annotations
@@ -19,7 +26,13 @@ from typing import Any, Dict, List
 from repro.errors import ReproError
 
 #: Bump on any change to the document layout or cell key format.
-SCHEMA_VERSION = "repro-harness/v1"
+#: v2 added the ``failures`` section (the supervised runner's
+#: quarantine manifest); v1 documents are still readable — they simply
+#: predate supervision and carry no failures.
+SCHEMA_VERSION = "repro-harness/v2"
+
+#: Versions :func:`load_document` accepts.
+COMPATIBLE_VERSIONS = ("repro-harness/v1", "repro-harness/v2")
 
 
 def build_document(report, mode: str, src_hash: str) -> Dict[str, Any]:
@@ -34,6 +47,9 @@ def build_document(report, mode: str, src_hash: str) -> Dict[str, Any]:
             "wall_clock_s": result.wall_clock_s,
             "cached": result.cached,
         })
+    failures = [f.as_dict() for f in
+                sorted(getattr(report, "failures", ()) or (),
+                       key=lambda f: f.key)]
     return {
         "schema_version": SCHEMA_VERSION,
         "mode": mode,
@@ -43,10 +59,12 @@ def build_document(report, mode: str, src_hash: str) -> Dict[str, Any]:
             "cache_hits": report.cache_hits,
             "cache_misses": report.cache_misses,
             "cells": len(cells),
+            "failed": len(failures),
             "elapsed_s": report.elapsed_s,
             "cell_wall_clock_s": sum(c["wall_clock_s"] for c in cells),
         },
         "cells": cells,
+        "failures": failures,
     }
 
 
@@ -77,10 +95,12 @@ def load_document(path: str) -> Dict[str, Any]:
     except (OSError, ValueError) as exc:
         raise ReproError(f"cannot read harness artifact {path!r}: {exc}") from exc
     version = doc.get("schema_version") if isinstance(doc, dict) else None
-    if version != SCHEMA_VERSION:
+    if version not in COMPATIBLE_VERSIONS:
         raise ReproError(
             f"{path!r}: unsupported schema {version!r} "
-            f"(expected {SCHEMA_VERSION!r})")
+            f"(expected one of {', '.join(COMPATIBLE_VERSIONS)})")
     if not isinstance(doc.get("cells"), list):
         raise ReproError(f"{path!r}: artifact has no cells array")
+    if not isinstance(doc.get("failures", []), list):
+        raise ReproError(f"{path!r}: artifact failures section is not a list")
     return doc

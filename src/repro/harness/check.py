@@ -12,7 +12,11 @@ the check — baselines are ratcheted forward by regenerating them, not
 by blocking additions.
 
 Exit codes: 0 = within tolerance, 1 = drift/missing cells,
-2 = unreadable or schema-incompatible input.
+2 = unreadable or schema-incompatible input, 3 = the results artifact
+carries quarantined cells (its ``failures`` manifest names baseline
+cells that never produced metrics).  Execution failures are a
+different condition from metric drift — the cell did not run to
+completion at all — so CI can route them to different owners.
 """
 
 from __future__ import annotations
@@ -64,6 +68,26 @@ def extra_cells(results: Dict[str, Any], expected: Dict[str, Any]) -> List[str]:
     return sorted(c["key"] for c in results["cells"] if c["key"] not in have)
 
 
+def failed_cells(results: Dict[str, Any],
+                 expected: Dict[str, Any]) -> List[str]:
+    """Execution failures of *results* that cover baseline cells.
+
+    One line per quarantined baseline cell, naming its failure kind —
+    these dominate plain drift (the cell produced no metrics to
+    compare) and map to exit code 3.
+    """
+    baseline_keys = {c["key"] for c in expected["cells"]}
+    lines = []
+    for failure in results.get("failures", []) or []:
+        if failure.get("key") in baseline_keys:
+            lines.append(
+                f"failed cell: {failure['key']} "
+                f"[{failure.get('kind', '?')}] after "
+                f"{failure.get('attempts', '?')} attempt(s): "
+                f"{failure.get('message', '')}")
+    return sorted(lines)
+
+
 def main(argv: Optional[Sequence[str]] = None) -> int:
     parser = argparse.ArgumentParser(
         prog="repro.harness.check",
@@ -81,7 +105,14 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
+    failures = failed_cells(results, expected)
+    failed_keys = {f.get("key") for f in results.get("failures", []) or []}
     problems = compare(results, expected, args.tolerance)
+    # A quarantined cell is necessarily missing from the results array;
+    # report it once, as a failure, not again as drift.
+    problems = [p for p in problems
+                if not (p.startswith("missing cell: ")
+                        and p[len("missing cell: "):] in failed_keys)]
     new = extra_cells(results, expected)
     if new:
         print(f"note: {len(new)} cell(s) not in baseline "
@@ -92,11 +123,20 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
             print(f"  ... and {len(new) - 10} more")
 
     checked = len(expected["cells"])
+    if failures:
+        print(f"FAIL: {len(failures)} baseline cell(s) quarantined by the "
+              "supervised runner (exit 3; reproduce with "
+              "`run-all --only <key> --no-timeout`):")
+        for line in failures:
+            print(f"  {line}")
     if problems:
         print(f"FAIL: {len(problems)} problem(s) across {checked} "
               "baseline cell(s):")
         for problem in problems:
             print(f"  {problem}")
+    if failures:
+        return 3
+    if problems:
         return 1
     print(f"OK: {checked} cell(s) within tolerance {args.tolerance:g}")
     return 0

@@ -338,6 +338,41 @@ _GRIDS: Dict[str, Callable[[bool], List[Cell]]] = {
 EXPERIMENTS: Tuple[str, ...] = tuple(_GRIDS)
 
 
+def register_experiment(name: str,
+                        runner: Callable[..., Dict[str, float]],
+                        grid: Optional[Callable[[bool], List[Cell]]] = None,
+                        ) -> None:
+    """Register an extra experiment at runtime.
+
+    Used by extension code and the supervisor test-suite to add cells
+    beyond the paper's grids.  *runner* must be a module-level callable
+    (cells cross process boundaries); *grid*, when given, makes the
+    experiment part of :func:`all_cells` sweeps.  Worker processes see
+    runtime registrations only under the ``fork`` start method — the
+    supervised runner's default on POSIX.
+    """
+    global EXPERIMENTS
+    if name in _RUNNERS:
+        raise ReproError(f"experiment {name!r} is already registered")
+    _RUNNERS[name] = runner
+    if grid is not None:
+        _GRIDS[name] = grid
+        EXPERIMENTS = tuple(_GRIDS)
+
+
+def unregister_experiment(name: str) -> None:
+    """Remove a runtime registration (idempotent; built-ins protected)."""
+    global EXPERIMENTS
+    if name in _BUILTIN_EXPERIMENTS:
+        raise ReproError(f"cannot unregister built-in experiment {name!r}")
+    _RUNNERS.pop(name, None)
+    if _GRIDS.pop(name, None) is not None:
+        EXPERIMENTS = tuple(_GRIDS)
+
+
+_BUILTIN_EXPERIMENTS = frozenset(EXPERIMENTS)
+
+
 def cells_for(experiment: str, quick: bool = False) -> List[Cell]:
     """All cells of one experiment's grid (quick or full variant)."""
     try:
@@ -374,8 +409,26 @@ def resolve_faults(faults: Any):
     return None if plan.is_null() else plan
 
 
+def resolve_watchdog(watchdog: Any):
+    """Normalise a watchdog argument to a LivenessWatchdog (or None).
+
+    Accepts ``False``/``None`` (off), ``True`` (default stall window),
+    a number of simulated seconds, or a built
+    :class:`~repro.sim.watchdog.LivenessWatchdog`.
+    """
+    if not watchdog:
+        return None
+    from repro.sim.watchdog import LivenessWatchdog
+
+    if isinstance(watchdog, LivenessWatchdog):
+        return watchdog
+    if isinstance(watchdog, bool):
+        return LivenessWatchdog()
+    return LivenessWatchdog(stall_after=float(watchdog))
+
+
 def run_cell(cell: Cell, checks: Any = False,
-             faults: Any = None) -> Dict[str, float]:
+             faults: Any = None, watchdog: Any = False) -> Dict[str, float]:
     """Execute one cell and return its metrics.
 
     Adds ``events_processed`` (from the cell's simulator, via
@@ -387,9 +440,12 @@ def run_cell(cell: Cell, checks: Any = False,
     violations and report their count as the ``invariant_violations``
     metric.  ``faults`` composes a fault plan (spec string, profile
     name, or :class:`~repro.faults.plan.FaultPlan`) onto the cell's
-    topology; the injector's summed counters join the metrics.  The
-    checker's audits schedule nothing, so ``checks`` alone never
-    changes ``events_processed``.
+    topology; the injector's summed counters join the metrics.
+    ``watchdog`` arms the liveness guard (see :func:`resolve_watchdog`),
+    turning a stalled simulation into a typed
+    :class:`~repro.errors.SimulationStalled` instead of a spin to the
+    horizon.  The checker's and watchdog's audits schedule nothing, so
+    neither ever changes ``events_processed``.
     """
     from repro.sim import engine
 
@@ -405,6 +461,7 @@ def run_cell(cell: Cell, checks: Any = False,
         mode = "collect" if checks == "collect" else "raise"
         checker = InvariantChecker(mode=mode)
     plan = resolve_faults(faults)
+    guard = resolve_watchdog(watchdog)
 
     engine._last_simulator = None
     session = None
@@ -417,8 +474,16 @@ def run_cell(cell: Cell, checks: Any = False,
             from repro.faults import runtime as faults_runtime
 
             session = faults_runtime.activate(plan)
+        if guard is not None:
+            from repro.sim import watchdog as watchdog_runtime
+
+            watchdog_runtime.activate(guard)
         metrics = runner(**cell.as_dict())
     finally:
+        if guard is not None:
+            from repro.sim import watchdog as watchdog_runtime
+
+            watchdog_runtime.deactivate()
         if plan is not None:
             from repro.faults import runtime as faults_runtime
 

@@ -18,6 +18,12 @@ from typing import Any, Callable, Dict, List, Optional, Sequence
 
 from repro.harness.cache import ResultCache
 from repro.harness.registry import Cell, resolve_faults, run_cell
+from repro.harness.supervisor import (
+    DEFAULT_BACKOFF_BASE,
+    DEFAULT_RETRIES,
+    FailureRecord,
+    run_supervised,
+)
 
 
 @dataclass
@@ -36,9 +42,15 @@ class CellResult:
 
 @dataclass
 class RunReport:
-    """Outcome of one sweep: per-cell results plus cache accounting."""
+    """Outcome of one sweep: per-cell results plus cache accounting.
+
+    ``failures`` is the failure manifest: cells the supervised runner
+    quarantined after exhausting their retries.  Every requested cell
+    lands in exactly one of ``results``/``failures``.
+    """
 
     results: List[CellResult] = field(default_factory=list)
+    failures: List[FailureRecord] = field(default_factory=list)
     cache_hits: int = 0
     cache_misses: int = 0
     jobs: int = 1
@@ -49,6 +61,11 @@ class RunReport:
         total = self.cache_hits + self.cache_misses
         return self.cache_hits / total if total else 0.0
 
+    @property
+    def ok(self) -> bool:
+        """True when no cell was quarantined."""
+        return not self.failures
+
     def by_experiment(self) -> Dict[str, List[CellResult]]:
         out: Dict[str, List[CellResult]] = {}
         for result in self.results:
@@ -57,10 +74,10 @@ class RunReport:
 
 
 def execute_cell(cell: Cell, checks: Any = False,
-                 faults: Any = None) -> CellResult:
+                 faults: Any = None, watchdog: Any = False) -> CellResult:
     """Run one cell, timing it.  Top-level so pools can pickle it."""
     start = time.perf_counter()
-    metrics = run_cell(cell, checks=checks, faults=faults)
+    metrics = run_cell(cell, checks=checks, faults=faults, watchdog=watchdog)
     return CellResult(cell=cell, metrics=metrics,
                       wall_clock_s=time.perf_counter() - start)
 
@@ -95,16 +112,28 @@ def _pool_context():
 def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
               cache: Optional[ResultCache] = None,
               progress: Optional[Callable[[str], None]] = None,
-              checks: Any = False, faults: Any = None) -> RunReport:
+              checks: Any = False, faults: Any = None,
+              timeout_s: Optional[float] = None,
+              retries: int = DEFAULT_RETRIES,
+              backoff_base: float = DEFAULT_BACKOFF_BASE,
+              watchdog: Any = False) -> RunReport:
     """Execute *cells*, serving from *cache* where possible.
 
     ``jobs=None`` uses ``os.cpu_count()``.  Results come back sorted
     by cell key regardless of execution order or cache state.
-    ``checks``/``faults`` are forwarded to every
+    ``checks``/``faults``/``watchdog`` are forwarded to every
     :func:`~repro.harness.registry.run_cell`; cached entries are
     looked up under a per-configuration namespace (see
     :func:`storage_key`) so a checked or faulted sweep never serves a
     plain run's results.
+
+    A non-``None`` ``timeout_s`` selects **supervised execution** (see
+    :mod:`repro.harness.supervisor`): every pending cell runs in its
+    own worker under that wall-clock deadline, failed cells are retried
+    up to ``retries`` times with deterministic backoff, and cells that
+    exhaust their attempts land in :attr:`RunReport.failures` instead
+    of aborting the sweep.  Quarantined cells are never written to the
+    cache, so partial runs cannot poison later sweeps.
     """
     if jobs is None:
         jobs = multiprocessing.cpu_count()
@@ -113,7 +142,8 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
     started = time.perf_counter()
     report = RunReport(jobs=jobs)
     faults = resolve_faults(faults)
-    execute = functools.partial(execute_cell, checks=checks, faults=faults)
+    execute = functools.partial(execute_cell, checks=checks, faults=faults,
+                                watchdog=watchdog)
 
     pending: List[Cell] = []
     for cell in cells:
@@ -130,7 +160,15 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
             report.cache_misses += 1
             pending.append(cell)
 
-    if len(pending) > 1 and jobs > 1:
+    if timeout_s is not None:
+        successes, failures = run_supervised(
+            pending, jobs=jobs, timeout_s=timeout_s, retries=retries,
+            backoff_base=backoff_base, checks=checks, faults=faults,
+            watchdog=watchdog, progress=progress)
+        executed = [CellResult(cell=cell, metrics=metrics, wall_clock_s=wall)
+                    for cell, metrics, wall in successes]
+        report.failures = sorted(failures, key=lambda f: f.key)
+    elif len(pending) > 1 and jobs > 1:
         ctx = _pool_context()
         with ctx.Pool(processes=min(jobs, len(pending))) as pool:
             executed = []

@@ -1,0 +1,330 @@
+"""Supervised cell execution: timeouts, crash quarantine, retries.
+
+The plain runner (:mod:`repro.harness.runner`) maps cells over a
+``multiprocessing`` pool: one hung worker stalls the sweep forever and
+one crashed worker kills it.  The fault profiles (``heavy``, ``flap``)
+and the 17-hop ``experiments.internet`` path exist precisely to push
+cells into pathological regimes, so the sweep needs to *survive* those
+regimes and report them instead of dying.
+
+This module runs each pending cell in its own worker process under a
+per-cell wall-clock deadline:
+
+* a worker that exceeds the deadline is terminated (then killed) and
+  the attempt is recorded as ``timeout``;
+* a worker that raises is recorded as ``crash`` — except the typed
+  failures :class:`~repro.errors.InvariantViolation`
+  (``check-violation``) and :class:`~repro.errors.SimulationStalled`
+  (``divergence``), which carry structured diagnostics;
+* a worker that dies without reporting (segfault, ``os._exit``) is a
+  ``crash`` with its exit code.
+
+Failed attempts are retried up to ``retries`` times with a seeded
+deterministic backoff (a pure function of the cell key and attempt
+number — two runs of the same sweep wait the same amount).  A cell
+that exhausts its attempts becomes a :class:`FailureRecord` in the
+sweep's failure manifest; sibling cells are unaffected and the sweep
+always completes with partial results.
+
+Nothing here touches the result cache: quarantined cells are never
+written to it, so a partial run cannot poison later sweeps.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import multiprocessing
+import multiprocessing.connection
+import time
+import traceback
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.errors import InvariantViolation, SimulationStalled
+from repro.harness.registry import Cell, run_cell
+
+#: The failure taxonomy, in display order.
+FAILURE_KINDS = ("timeout", "crash", "divergence", "check-violation")
+
+#: Default per-cell wall-clock budget (seconds).  The slowest quick
+#: cell finishes in single-digit seconds on any hardware CI uses; two
+#: minutes is "hung", not "slow".
+DEFAULT_TIMEOUT_S = 120.0
+
+#: Default retry budget: one re-execution before quarantine.
+DEFAULT_RETRIES = 1
+
+#: Base of the deterministic backoff schedule (seconds).
+DEFAULT_BACKOFF_BASE = 0.05
+
+#: How long a terminated worker gets to die before SIGKILL.
+_TERM_GRACE_S = 2.0
+
+#: Poll granularity of the supervision loop (seconds).
+_POLL_S = 0.02
+
+
+@dataclass
+class FailureRecord:
+    """One quarantined cell: the structured entry of the failure manifest."""
+
+    key: str
+    experiment: str
+    kind: str                     # one of FAILURE_KINDS (final attempt)
+    message: str
+    attempts: int                 # executions, including the first
+    wall_clock_s: float           # summed across every attempt
+    detail: Dict[str, Any] = field(default_factory=dict)
+    attempt_log: List[Dict[str, Any]] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, Any]:
+        return {
+            "key": self.key,
+            "experiment": self.experiment,
+            "kind": self.kind,
+            "message": self.message,
+            "attempts": self.attempts,
+            "wall_clock_s": self.wall_clock_s,
+            "detail": self.detail,
+            "attempt_log": self.attempt_log,
+        }
+
+
+def classify_error(exc: BaseException) -> Tuple[str, str, Dict[str, Any]]:
+    """Map an exception onto the failure taxonomy.
+
+    Returns ``(kind, message, detail)``.  Order matters:
+    :class:`InvariantViolation` subclasses ``SimulationError`` and must
+    be tested before the broader stall/crash buckets.
+    """
+    message = f"{type(exc).__name__}: {exc}"
+    if isinstance(exc, InvariantViolation):
+        return "check-violation", message, {
+            "invariant": exc.invariant,
+            "sim_time": exc.sim_time,
+            "subject": exc.subject,
+            "flow": str(exc.flow) if exc.flow is not None else None,
+            "detail": exc.detail,
+        }
+    if isinstance(exc, SimulationStalled):
+        return "divergence", message, {
+            "reason": exc.reason,
+            "sim_time": exc.sim_time,
+            "stalled_for": exc.stalled_for,
+            "snapshot": exc.snapshot,
+        }
+    tb = traceback.format_exception(type(exc), exc, exc.__traceback__)
+    return "crash", message, {
+        "exception": type(exc).__name__,
+        "traceback": "".join(tb)[-4000:],
+    }
+
+
+def retry_backoff(key: str, attempt: int,
+                  base: float = DEFAULT_BACKOFF_BASE) -> float:
+    """Deterministic exponential backoff with seeded jitter.
+
+    A pure function of ``(cell key, attempt)``: doubling per attempt,
+    scaled by a jitter factor in ``[0.5, 1.5)`` drawn from SHA-256 of
+    the pair — reproducible across runs and hosts, no shared RNG
+    state, and distinct cells never thundering-herd their retries.
+    """
+    digest = hashlib.sha256(f"{key}#retry{attempt}".encode()).digest()
+    jitter = 0.5 + int.from_bytes(digest[:4], "big") / 2 ** 32
+    return base * (2 ** max(0, attempt - 1)) * jitter
+
+
+def _mp_context():
+    # fork inherits sys.path, loaded modules, and (crucially for the
+    # tests) runtime-registered experiments; fall back to the platform
+    # default elsewhere.
+    methods = multiprocessing.get_all_start_methods()
+    if "fork" in methods:
+        return multiprocessing.get_context("fork")
+    return multiprocessing.get_context()
+
+
+def _supervised_entry(send_conn, cell: Cell, checks: Any, faults: Any,
+                      watchdog: Any) -> None:
+    """Worker body: run one cell, report outcome through the pipe."""
+    start = time.perf_counter()
+    try:
+        metrics = run_cell(cell, checks=checks, faults=faults,
+                           watchdog=watchdog)
+    except BaseException as exc:  # noqa: BLE001 - taxonomy needs everything
+        kind, message, detail = classify_error(exc)
+        payload = ("fail", kind, message, detail,
+                   time.perf_counter() - start)
+    else:
+        payload = ("ok", metrics, time.perf_counter() - start)
+    try:
+        send_conn.send(payload)
+    finally:
+        send_conn.close()
+
+
+@dataclass
+class _Task:
+    """Book-keeping for one cell across its attempts."""
+
+    cell: Cell
+    attempts: int = 0
+    not_before: float = 0.0       # perf_counter() gate for retries
+    wall_clock_s: float = 0.0
+    attempt_log: List[Dict[str, Any]] = field(default_factory=list)
+    last: Optional[Tuple[str, str, Dict[str, Any]]] = None
+
+    @property
+    def key(self) -> str:
+        return self.cell.key
+
+
+class _Running:
+    """One live worker process and its result pipe."""
+
+    __slots__ = ("task", "process", "conn", "deadline")
+
+    def __init__(self, task: _Task, process, conn, deadline: float):
+        self.task = task
+        self.process = process
+        self.conn = conn
+        self.deadline = deadline
+
+
+def run_supervised(cells: Sequence[Cell], jobs: int,
+                   timeout_s: Optional[float] = DEFAULT_TIMEOUT_S,
+                   retries: int = DEFAULT_RETRIES,
+                   backoff_base: float = DEFAULT_BACKOFF_BASE,
+                   checks: Any = False, faults: Any = None,
+                   watchdog: Any = False,
+                   progress: Optional[Callable[[str], None]] = None,
+                   ) -> Tuple[List[Tuple[Cell, Dict[str, float], float]],
+                              List[FailureRecord]]:
+    """Execute *cells* under supervision; never raises for a cell.
+
+    Returns ``(successes, failures)`` where each success is
+    ``(cell, metrics, wall_clock_s)`` and each failure is a finalized
+    :class:`FailureRecord`.  Every input cell appears in exactly one of
+    the two lists, so the sweep always completes.
+    """
+    if retries < 0:
+        raise ValueError(f"retries must be >= 0, got {retries}")
+    if timeout_s is not None and timeout_s <= 0:
+        raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    ctx = _mp_context()
+    ready: List[_Task] = [_Task(cell) for cell in cells]
+    ready.reverse()               # pop() from the end preserves order
+    waiting: List[_Task] = []     # backoff gate not yet open
+    running: List[_Running] = []
+    successes: List[Tuple[Cell, Dict[str, float], float]] = []
+    failures: List[FailureRecord] = []
+
+    def launch(task: _Task) -> None:
+        recv_conn, send_conn = ctx.Pipe(duplex=False)
+        process = ctx.Process(target=_supervised_entry,
+                              args=(send_conn, task.cell, checks, faults,
+                                    watchdog))
+        process.daemon = True
+        process.start()
+        send_conn.close()         # parent keeps only the read end
+        task.attempts += 1
+        deadline = (float("inf") if timeout_s is None
+                    else time.perf_counter() + timeout_s)
+        running.append(_Running(task, process, recv_conn, deadline))
+
+    def settle_attempt(task: _Task, kind: str, message: str,
+                       detail: Dict[str, Any], wall: float) -> None:
+        task.wall_clock_s += wall
+        task.last = (kind, message, detail)
+        task.attempt_log.append({"attempt": task.attempts, "kind": kind,
+                                 "message": message,
+                                 "wall_clock_s": round(wall, 6)})
+        if task.attempts <= retries:
+            backoff = retry_backoff(task.key, task.attempts, backoff_base)
+            task.attempt_log[-1]["backoff_s"] = round(backoff, 6)
+            task.not_before = time.perf_counter() + backoff
+            waiting.append(task)
+            if progress is not None:
+                progress(f"{task.key}: {kind} on attempt {task.attempts}, "
+                         f"retrying in {backoff:.2f}s")
+        else:
+            failures.append(FailureRecord(
+                key=task.key, experiment=task.cell.experiment, kind=kind,
+                message=message, attempts=task.attempts,
+                wall_clock_s=task.wall_clock_s, detail=detail,
+                attempt_log=task.attempt_log))
+            if progress is not None:
+                progress(f"{task.key}: FAILED ({kind}) after "
+                         f"{task.attempts} attempt(s)")
+
+    def reap(entry: _Running) -> None:
+        running.remove(entry)
+        task = entry.task
+        payload = None
+        if entry.conn.poll():
+            try:
+                payload = entry.conn.recv()
+            except EOFError:
+                payload = None
+        entry.conn.close()
+        if payload is not None:
+            entry.process.join()
+            if payload[0] == "ok":
+                _, metrics, wall = payload
+                task.wall_clock_s += wall
+                successes.append((task.cell, metrics, wall))
+                if progress is not None:
+                    note = " (retry)" if task.attempts > 1 else ""
+                    progress(f"{task.key}: {wall:.2f}s{note}")
+            else:
+                _, kind, message, detail, wall = payload
+                settle_attempt(task, kind, message, detail, wall)
+            return
+        # No payload: the worker died before reporting.
+        entry.process.join()
+        code = entry.process.exitcode
+        settle_attempt(task, "crash",
+                       f"worker exited with code {code} before reporting",
+                       {"exitcode": code}, 0.0)
+
+    def kill(entry: _Running) -> None:
+        running.remove(entry)
+        process = entry.process
+        process.terminate()
+        process.join(_TERM_GRACE_S)
+        if process.is_alive():
+            process.kill()
+            process.join()
+        entry.conn.close()
+        settle_attempt(entry.task, "timeout",
+                       f"exceeded the per-cell deadline of {timeout_s:g}s",
+                       {"timeout_s": timeout_s},
+                       timeout_s if timeout_s is not None else 0.0)
+
+    while ready or waiting or running:
+        now = time.perf_counter()
+        if waiting:
+            still = [t for t in waiting if t.not_before > now]
+            due = [t for t in waiting if t.not_before <= now]
+            if due:
+                waiting[:] = still
+                ready[:0] = reversed(due)   # retries go to the front
+        while ready and len(running) < jobs:
+            launch(ready.pop())
+        if not running:
+            # Only backoff gates left: sleep until the earliest opens
+            # (bounded by the poll granularity) and rescan.
+            time.sleep(_POLL_S)
+            continue
+        # Block briefly on every live pipe; a timed-out worker that
+        # never writes is caught by the deadline scan below.
+        multiprocessing.connection.wait(
+            [entry.conn for entry in running], timeout=_POLL_S)
+        now = time.perf_counter()
+        for entry in list(running):
+            if entry.conn.poll() or not entry.process.is_alive():
+                reap(entry)
+            elif now >= entry.deadline:
+                kill(entry)
+
+    return successes, failures

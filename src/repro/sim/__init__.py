@@ -3,5 +3,7 @@
 from repro.sim.engine import Event, Simulator
 from repro.sim.process import PeriodicTimer
 from repro.sim.rng import RngRegistry
+from repro.sim.watchdog import LivenessWatchdog, watching
 
-__all__ = ["Event", "Simulator", "PeriodicTimer", "RngRegistry"]
+__all__ = ["Event", "LivenessWatchdog", "PeriodicTimer", "RngRegistry",
+           "Simulator", "watching"]

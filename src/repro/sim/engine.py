@@ -52,6 +52,7 @@ from typing import Any, Callable, List, Optional
 from repro.checks import runtime as checks_runtime
 from repro.errors import SimulationError
 from repro.perf import runtime as perf_runtime
+from repro.sim import watchdog as watchdog_runtime
 
 #: Most recently constructed Simulator in this process; see
 #: :func:`last_simulator`.
@@ -162,6 +163,12 @@ class Simulator:
         self.perf = perf_runtime.active()
         if self.perf is not None:
             self.perf.register_simulator(self)
+        # Liveness watchdog (repro.sim.watchdog): like the checker, its
+        # hooks read state and schedule nothing, so events_processed is
+        # identical with the watchdog on.
+        self.watchdog = watchdog_runtime.active()
+        if self.watchdog is not None:
+            self.watchdog.register_simulator(self)
         global _last_simulator
         _last_simulator = self
 
@@ -273,6 +280,8 @@ class Simulator:
             self._running = False
         if self.checker is not None:
             self.checker.on_run_end(self)
+        if self.watchdog is not None:
+            self.watchdog.on_run_end(self)
         return processed
 
     def _run_fast(self, until: Optional[float],
@@ -282,6 +291,7 @@ class Simulator:
         heappop = heapq.heappop
         checker = self.checker
         perf = self.perf
+        watchdog = self.watchdog
         pool = self._pool
         pool_append = pool.append
         horizon = float("inf") if until is None else until
@@ -311,6 +321,8 @@ class Simulator:
                 # audit; piggybacked here (never scheduled) so
                 # events_processed is identical with checks on.
                 checker.on_event(self)
+            if watchdog is not None:
+                watchdog.on_event(self)
             fn = event.fn
             args = event.args
             if perf is not None:
@@ -351,6 +363,8 @@ class Simulator:
             self.now = event.time
             if self.checker is not None:
                 self.checker.on_event(self)
+            if self.watchdog is not None:
+                self.watchdog.on_event(self)
             if self.perf is not None:
                 self.perf.on_event(event.fn, len(self._heap))
             event.fn(*event.args)

@@ -25,6 +25,7 @@ from typing import TYPE_CHECKING, Callable, Dict, Optional
 
 from repro.checks import runtime as checks_runtime
 from repro.errors import ProtocolError
+from repro.sim import watchdog as watchdog_runtime
 from repro.metrics.flowstats import FlowStats
 from repro.net.addresses import FlowId
 from repro.net.packet import Packet
@@ -142,6 +143,12 @@ class TCPConnection:
         self._checker = checks_runtime.active()
         if self._checker is not None:
             self._checker.register_connection(self)
+        # Liveness watchdog (repro.sim.watchdog): registration only —
+        # the watchdog polls this connection from the engine loop via
+        # the liveness_* protocol below, so inactive runs pay nothing.
+        _watchdog = watchdog_runtime.active()
+        if _watchdog is not None:
+            _watchdog.register_connection(self)
 
     # ------------------------------------------------------------------
     # Convenience properties
@@ -165,6 +172,54 @@ class TCPConnection:
 
     def unsent_bytes(self) -> int:
         return self.sendbuf.queued_end - self.snd_nxt
+
+    # ------------------------------------------------------------------
+    # Liveness protocol (consumed by repro.sim.watchdog)
+    # ------------------------------------------------------------------
+    def liveness_progress(self) -> int:
+        """Monotone counter that moves whenever this endpoint advances.
+
+        Covers both halves: cumulative ACKs received by the sender
+        (``snd_una``) and in-order bytes accepted by the receiver
+        (``rcv_nxt``).  Retransmissions that are never acknowledged do
+        *not* move it — that is exactly the stall mode the watchdog
+        exists to catch.
+        """
+        return self.snd_una + self.recv.rcv_nxt
+
+    def has_unfinished_work(self) -> bool:
+        """True while this endpoint still owes the network something.
+
+        An aborted connection counts as unfinished forever: whatever it
+        was carrying never completed, which is a liveness failure, not
+        a finished transfer.
+        """
+        if self.aborted:
+            return True
+        if self.state == State.CLOSED:
+            return False
+        if self.snd_nxt > self.snd_una or self.unsent_bytes() > 0:
+            return True
+        return (self.fin_pending or self.fin_sent) and not self.fin_acked
+
+    def liveness_snapshot(self) -> Dict[str, object]:
+        """Diagnostic state for a :class:`~repro.errors.SimulationStalled`."""
+        return {
+            "flow": str(self.flow),
+            "state": self.state.name,
+            "snd_una": self.snd_una,
+            "snd_nxt": self.snd_nxt,
+            "snd_max": self.snd_max,
+            "outstanding": self.flight_size(),
+            "unsent": self.unsent_bytes(),
+            "rcv_nxt": self.recv.rcv_nxt,
+            "rexmt_timer_ticks": self.t_rexmt,
+            "rexmt_shift": self.rexmt_shift,
+            "consecutive_timeouts": self.consecutive_timeouts,
+            "coarse_timeouts": self.stats.coarse_timeouts,
+            "aborted": self.aborted,
+            "unfinished": self.has_unfinished_work(),
+        }
 
     # ------------------------------------------------------------------
     # Opening

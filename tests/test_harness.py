@@ -304,7 +304,7 @@ class TestArtifacts:
     def test_build_document_from_report(self):
         report = run_cells(CHEAP_CELLS[:1], jobs=1)
         doc = build_document(report, mode="quick", src_hash="abc")
-        assert doc["schema_version"] == "repro-harness/v1"
+        assert doc["schema_version"] == "repro-harness/v2"
         assert doc["src_hash"] == "abc"
         assert doc["run"]["cells"] == 1
         cell = doc["cells"][0]
