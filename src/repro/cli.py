@@ -16,6 +16,8 @@ Usage::
     python -m repro.cli run-all --quick --jobs 4 --json results.json
     python -m repro.cli run-all --quick --watchdog --retries 2
     python -m repro.cli run-all --only table4/proto=reno/seed=0 --no-timeout
+    python -m repro.cli run-all --quick --json r.json --telemetry run.jsonl
+    python -m repro.cli report r.json --telemetry run.jsonl
     python -m repro.cli bench --rounds 3
 
 (``python -m repro ...`` is an equivalent spelling of every command.)
@@ -290,9 +292,11 @@ def _cmd_run_all(args) -> int:
     report = runner.run_cells(cells, jobs=args.jobs, cache=cache,
                               progress=progress, checks=args.checks,
                               faults=faults, timeout_s=timeout_s,
-                              retries=args.retries, watchdog=args.watchdog)
+                              retries=args.retries, watchdog=args.watchdog,
+                              telemetry=args.telemetry)
     doc = artifacts.build_document(
-        report, mode="quick" if args.quick else "full", src_hash=src_hash)
+        report, mode="quick" if args.quick else "full", src_hash=src_hash,
+        telemetry=args.telemetry)
     if args.json:
         artifacts.write_document(args.json, doc)
 
@@ -317,7 +321,20 @@ def _cmd_run_all(args) -> int:
             return 1
     if args.json:
         print(f"JSON artifact: {args.json}")
+    if args.telemetry:
+        print(f"telemetry: {args.telemetry}")
     return 3 if report.failures else 0
+
+
+def _cmd_report(args) -> int:
+    from repro.obs import report as report_mod
+
+    argv = [args.results, "--top", str(args.top)]
+    if args.telemetry:
+        argv.extend(["--telemetry", args.telemetry])
+    if args.out:
+        argv.extend(["--out", args.out])
+    return report_mod.main(argv)
 
 
 def _cmd_bench(args) -> int:
@@ -432,7 +449,26 @@ def build_parser() -> argparse.ArgumentParser:
                               "connection progress for STALL_SECONDS of "
                               "simulated time (default 30) or drains its "
                               "event queue mid-transfer")
+    run_all.add_argument("--telemetry", metavar="PATH", default=None,
+                         help="append a structured JSONL telemetry log: "
+                              "sweep/cell spans, cache hits, retry and "
+                              "quarantine events, plus periodic engine "
+                              "gauges (cwnd/flight/queue depth); render "
+                              "it with `repro report`")
     run_all.set_defaults(fn=_cmd_run_all)
+
+    report_cmd = sub.add_parser(
+        "report",
+        help="render a Markdown run report from a run-all JSON artifact "
+             "(plus optional --telemetry JSONL)")
+    report_cmd.add_argument("results", help="artifact from run-all --json")
+    report_cmd.add_argument("--telemetry", metavar="PATH", default=None,
+                            help="telemetry JSONL from run-all --telemetry")
+    report_cmd.add_argument("--top", type=int, default=10,
+                            help="slowest cells to list (default 10)")
+    report_cmd.add_argument("--out", metavar="PATH", default=None,
+                            help="write the report to a file")
+    report_cmd.set_defaults(fn=_cmd_report)
 
     bench = sub.add_parser(
         "bench",

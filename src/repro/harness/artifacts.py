@@ -35,8 +35,14 @@ SCHEMA_VERSION = "repro-harness/v2"
 COMPATIBLE_VERSIONS = ("repro-harness/v1", "repro-harness/v2")
 
 
-def build_document(report, mode: str, src_hash: str) -> Dict[str, Any]:
-    """Render a :class:`~repro.harness.runner.RunReport` as an artifact."""
+def build_document(report, mode: str, src_hash: str,
+                   telemetry: str = None) -> Dict[str, Any]:
+    """Render a :class:`~repro.harness.runner.RunReport` as an artifact.
+
+    ``telemetry`` records the path of the sweep's telemetry JSONL (when
+    one was written) in the run metadata, so ``repro report`` and CI
+    can pair the two files.  It never enters the cells fingerprint.
+    """
     cells: List[Dict[str, Any]] = []
     for result in sorted(report.results, key=lambda r: r.key):
         cells.append({
@@ -62,6 +68,7 @@ def build_document(report, mode: str, src_hash: str) -> Dict[str, Any]:
             "failed": len(failures),
             "elapsed_s": report.elapsed_s,
             "cell_wall_clock_s": sum(c["wall_clock_s"] for c in cells),
+            "telemetry": telemetry,
         },
         "cells": cells,
         "failures": failures,

@@ -96,6 +96,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("expected", help="committed baseline artifact")
     parser.add_argument("--tolerance", type=float, default=0.15,
                         help="relative tolerance per metric (default 0.15)")
+    parser.add_argument("--telemetry", metavar="PATH", default=None,
+                        help="append the gate verdict to this telemetry "
+                             "JSONL (same file run-all --telemetry wrote)")
     args = parser.parse_args(argv)
 
     try:
@@ -134,12 +137,17 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
               "baseline cell(s):")
         for problem in problems:
             print(f"  {problem}")
-    if failures:
-        return 3
-    if problems:
-        return 1
-    print(f"OK: {checked} cell(s) within tolerance {args.tolerance:g}")
-    return 0
+    code = 3 if failures else (1 if problems else 0)
+    if args.telemetry is not None:
+        from repro.obs.events import TelemetrySink
+
+        with TelemetrySink(args.telemetry, run_id="gate") as sink:
+            sink.emit("gate", exit_code=code, checked=checked,
+                      drift=len(problems), quarantined=len(failures),
+                      tolerance=args.tolerance)
+    if code == 0:
+        print(f"OK: {checked} cell(s) within tolerance {args.tolerance:g}")
+    return code
 
 
 if __name__ == "__main__":

@@ -428,7 +428,8 @@ def resolve_watchdog(watchdog: Any):
 
 
 def run_cell(cell: Cell, checks: Any = False,
-             faults: Any = None, watchdog: Any = False) -> Dict[str, float]:
+             faults: Any = None, watchdog: Any = False,
+             telemetry: Optional[str] = None) -> Dict[str, float]:
     """Execute one cell and return its metrics.
 
     Adds ``events_processed`` (from the cell's simulator, via
@@ -444,8 +445,11 @@ def run_cell(cell: Cell, checks: Any = False,
     ``watchdog`` arms the liveness guard (see :func:`resolve_watchdog`),
     turning a stalled simulation into a typed
     :class:`~repro.errors.SimulationStalled` instead of a spin to the
-    horizon.  The checker's and watchdog's audits schedule nothing, so
-    neither ever changes ``events_processed``.
+    horizon.  ``telemetry`` (a JSONL path) arms the telemetry gauge
+    sampler (:mod:`repro.obs`) for the run; the file is opened in
+    append mode so a sweep's workers interleave into one log.  The
+    checker's, watchdog's and sampler's hooks schedule nothing, so
+    none of them ever changes ``events_processed``.
     """
     from repro.sim import engine
 
@@ -465,6 +469,7 @@ def run_cell(cell: Cell, checks: Any = False,
 
     engine._last_simulator = None
     session = None
+    sink = None
     try:
         if checker is not None:
             from repro.checks import runtime as checks_runtime
@@ -478,8 +483,20 @@ def run_cell(cell: Cell, checks: Any = False,
             from repro.sim import watchdog as watchdog_runtime
 
             watchdog_runtime.activate(guard)
+        if telemetry is not None:
+            from repro.obs import runtime as obs_runtime
+            from repro.obs.events import TelemetrySink
+            from repro.obs.gauges import GaugeSampler
+
+            sink = TelemetrySink(telemetry)
+            obs_runtime.activate(GaugeSampler(sink, cell=cell.key))
         metrics = runner(**cell.as_dict())
     finally:
+        if sink is not None:
+            from repro.obs import runtime as obs_runtime
+
+            obs_runtime.deactivate()
+            sink.close()
         if guard is not None:
             from repro.sim import watchdog as watchdog_runtime
 

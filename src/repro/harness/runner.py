@@ -74,10 +74,25 @@ class RunReport:
 
 
 def execute_cell(cell: Cell, checks: Any = False,
-                 faults: Any = None, watchdog: Any = False) -> CellResult:
-    """Run one cell, timing it.  Top-level so pools can pickle it."""
+                 faults: Any = None, watchdog: Any = False,
+                 telemetry: Optional[str] = None) -> CellResult:
+    """Run one cell, timing it.  Top-level so pools can pickle it.
+
+    With ``telemetry`` set, the cell is bracketed by a ``cell`` span
+    written from this (worker) process, and the gauge sampler is armed
+    for the run (see :func:`~repro.harness.registry.run_cell`).
+    """
     start = time.perf_counter()
-    metrics = run_cell(cell, checks=checks, faults=faults, watchdog=watchdog)
+    if telemetry is None:
+        metrics = run_cell(cell, checks=checks, faults=faults,
+                           watchdog=watchdog)
+    else:
+        from repro.obs.events import TelemetrySink
+
+        with TelemetrySink(telemetry) as sink:
+            with sink.span("cell", cell=cell.key):
+                metrics = run_cell(cell, checks=checks, faults=faults,
+                                   watchdog=watchdog, telemetry=telemetry)
     return CellResult(cell=cell, metrics=metrics,
                       wall_clock_s=time.perf_counter() - start)
 
@@ -116,7 +131,8 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
               timeout_s: Optional[float] = None,
               retries: int = DEFAULT_RETRIES,
               backoff_base: float = DEFAULT_BACKOFF_BASE,
-              watchdog: Any = False) -> RunReport:
+              watchdog: Any = False,
+              telemetry: Optional[str] = None) -> RunReport:
     """Execute *cells*, serving from *cache* where possible.
 
     ``jobs=None`` uses ``os.cpu_count()``.  Results come back sorted
@@ -126,6 +142,13 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
     looked up under a per-configuration namespace (see
     :func:`storage_key`) so a checked or faulted sweep never serves a
     plain run's results.
+
+    ``telemetry`` (a JSONL path) arms the run-scoped telemetry log:
+    this process records the sweep bracket and cache hits, each worker
+    appends its cell span and gauge samples, and the supervisor adds
+    retry/quarantine events — all interleaved into the one file.
+    Telemetry never affects metrics: sampler hooks schedule nothing,
+    and the cache key is telemetry-independent.
 
     A non-``None`` ``timeout_s`` selects **supervised execution** (see
     :mod:`repro.harness.supervisor`): every pending cell runs in its
@@ -143,7 +166,14 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
     report = RunReport(jobs=jobs)
     faults = resolve_faults(faults)
     execute = functools.partial(execute_cell, checks=checks, faults=faults,
-                                watchdog=watchdog)
+                                watchdog=watchdog, telemetry=telemetry)
+    sink = None
+    if telemetry is not None:
+        from repro.obs.events import TelemetrySink
+
+        sink = TelemetrySink(telemetry, run_id="harness")
+        sink.emit("sweep.start", cells=len(cells), jobs=jobs,
+                  supervised=timeout_s is not None)
 
     pending: List[Cell] = []
     for cell in cells:
@@ -154,6 +184,8 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
             report.results.append(CellResult(
                 cell=cell, metrics=payload["metrics"],
                 wall_clock_s=payload.get("wall_clock_s", 0.0), cached=True))
+            if sink is not None:
+                sink.emit("cache.hit", cell=cell.key)
             if progress is not None:
                 progress(f"{cell.key}: cached")
         else:
@@ -164,7 +196,7 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
         successes, failures = run_supervised(
             pending, jobs=jobs, timeout_s=timeout_s, retries=retries,
             backoff_base=backoff_base, checks=checks, faults=faults,
-            watchdog=watchdog, progress=progress)
+            watchdog=watchdog, progress=progress, telemetry=telemetry)
         executed = [CellResult(cell=cell, metrics=metrics, wall_clock_s=wall)
                     for cell, metrics, wall in successes]
         report.failures = sorted(failures, key=lambda f: f.key)
@@ -193,4 +225,11 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
 
     report.results.sort(key=lambda r: r.key)
     report.elapsed_s = time.perf_counter() - started
+    if sink is not None:
+        sink.emit("sweep.end", ok=len(report.results),
+                  failed=len(report.failures),
+                  cache_hits=report.cache_hits,
+                  cache_misses=report.cache_misses,
+                  elapsed_s=round(report.elapsed_s, 6))
+        sink.close()
     return report

@@ -145,18 +145,31 @@ def _mp_context():
 
 
 def _supervised_entry(send_conn, cell: Cell, checks: Any, faults: Any,
-                      watchdog: Any) -> None:
+                      watchdog: Any, telemetry: Optional[str] = None) -> None:
     """Worker body: run one cell, report outcome through the pipe."""
     start = time.perf_counter()
+    sink = None
+    if telemetry is not None:
+        from repro.obs.events import TelemetrySink
+
+        sink = TelemetrySink(telemetry)
     try:
-        metrics = run_cell(cell, checks=checks, faults=faults,
-                           watchdog=watchdog)
+        if sink is None:
+            metrics = run_cell(cell, checks=checks, faults=faults,
+                               watchdog=watchdog)
+        else:
+            with sink.span("cell", cell=cell.key):
+                metrics = run_cell(cell, checks=checks, faults=faults,
+                                   watchdog=watchdog, telemetry=telemetry)
     except BaseException as exc:  # noqa: BLE001 - taxonomy needs everything
         kind, message, detail = classify_error(exc)
         payload = ("fail", kind, message, detail,
                    time.perf_counter() - start)
     else:
         payload = ("ok", metrics, time.perf_counter() - start)
+    finally:
+        if sink is not None:
+            sink.close()
     try:
         send_conn.send(payload)
     finally:
@@ -198,6 +211,7 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
                    checks: Any = False, faults: Any = None,
                    watchdog: Any = False,
                    progress: Optional[Callable[[str], None]] = None,
+                   telemetry: Optional[str] = None,
                    ) -> Tuple[List[Tuple[Cell, Dict[str, float], float]],
                               List[FailureRecord]]:
     """Execute *cells* under supervision; never raises for a cell.
@@ -205,12 +219,19 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
     Returns ``(successes, failures)`` where each success is
     ``(cell, metrics, wall_clock_s)`` and each failure is a finalized
     :class:`FailureRecord`.  Every input cell appears in exactly one of
-    the two lists, so the sweep always completes.
+    the two lists, so the sweep always completes.  With ``telemetry``
+    set, retry and quarantine decisions are logged from this process
+    and each worker appends its own cell span and gauges.
     """
     if retries < 0:
         raise ValueError(f"retries must be >= 0, got {retries}")
     if timeout_s is not None and timeout_s <= 0:
         raise ValueError(f"timeout_s must be positive, got {timeout_s}")
+    sink = None
+    if telemetry is not None:
+        from repro.obs.events import TelemetrySink
+
+        sink = TelemetrySink(telemetry, run_id="supervisor")
     ctx = _mp_context()
     ready: List[_Task] = [_Task(cell) for cell in cells]
     ready.reverse()               # pop() from the end preserves order
@@ -223,7 +244,7 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
         recv_conn, send_conn = ctx.Pipe(duplex=False)
         process = ctx.Process(target=_supervised_entry,
                               args=(send_conn, task.cell, checks, faults,
-                                    watchdog))
+                                    watchdog, telemetry))
         process.daemon = True
         process.start()
         send_conn.close()         # parent keeps only the read end
@@ -244,6 +265,9 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
             task.attempt_log[-1]["backoff_s"] = round(backoff, 6)
             task.not_before = time.perf_counter() + backoff
             waiting.append(task)
+            if sink is not None:
+                sink.emit("cell.retry", cell=task.key, kind=kind,
+                          attempt=task.attempts, backoff_s=round(backoff, 6))
             if progress is not None:
                 progress(f"{task.key}: {kind} on attempt {task.attempts}, "
                          f"retrying in {backoff:.2f}s")
@@ -253,6 +277,9 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
                 message=message, attempts=task.attempts,
                 wall_clock_s=task.wall_clock_s, detail=detail,
                 attempt_log=task.attempt_log))
+            if sink is not None:
+                sink.emit("cell.quarantine", cell=task.key, kind=kind,
+                          attempts=task.attempts, message=message)
             if progress is not None:
                 progress(f"{task.key}: FAILED ({kind}) after "
                          f"{task.attempts} attempt(s)")
@@ -301,6 +328,17 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
                        {"timeout_s": timeout_s},
                        timeout_s if timeout_s is not None else 0.0)
 
+    try:
+        _supervise_loop(ready, waiting, running, jobs, launch, reap, kill)
+    finally:
+        if sink is not None:
+            sink.close()
+
+    return successes, failures
+
+
+def _supervise_loop(ready, waiting, running, jobs, launch, reap, kill) -> None:
+    """The supervision event loop, factored out of :func:`run_supervised`."""
     while ready or waiting or running:
         now = time.perf_counter()
         if waiting:
@@ -326,5 +364,3 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
                 reap(entry)
             elif now >= entry.deadline:
                 kill(entry)
-
-    return successes, failures

@@ -46,6 +46,9 @@ class FlowStats:
     fast_retransmits: int = 0
     fine_retransmits: int = 0
 
+    # Zero-window persist probes sent (1-byte forced sends).
+    persist_probes: int = 0
+
     # RTT samples (fine-grained, seconds).
     rtt_samples: int = 0
     rtt_min: Optional[float] = None

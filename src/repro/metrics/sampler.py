@@ -30,18 +30,28 @@ class RateSampler:
         self.samples: Series = []  # (time, bytes/second over the interval)
         self._last_value: Optional[float] = None
         self._running = False
+        self._event = None  # pending tick; None is the only valid test
 
     def start(self, delay: float = 0.0) -> None:
         if self._running:
             return
         self._running = True
         self._last_value = None
-        self.sim.schedule(delay, self._tick)
+        self._event = self.sim.schedule(delay, self._tick)
 
     def stop(self) -> None:
+        # Cancel the pending tick: a stop()/start() cycle used to leave
+        # the old tick scheduled, so the restart forked a second tick
+        # chain and the series double-sampled forever after.
         self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
 
     def _tick(self) -> None:
+        # The event just fired; its handle is dead (the engine may
+        # recycle the object), so null it before anything else.
+        self._event = None
         if not self._running:
             return
         value = self.counter()
@@ -49,7 +59,7 @@ class RateSampler:
             rate = (value - self._last_value) / self.interval
             self.samples.append((self.sim.now, rate))
         self._last_value = value
-        self.sim.schedule(self.interval, self._tick)
+        self._event = self.sim.schedule(self.interval, self._tick)
 
     # ------------------------------------------------------------------
     def running_average(self, window: int = 3) -> Series:

@@ -18,6 +18,7 @@ from typing import Callable, Deque, List, Optional, Tuple
 from repro.checks import runtime as checks_runtime
 from repro.errors import ConfigurationError
 from repro.net.packet import Packet
+from repro.obs import runtime as obs_runtime
 
 
 class DropTailQueue:
@@ -50,6 +51,9 @@ class DropTailQueue:
         self.checker = checks_runtime.active()
         if self.checker is not None:
             self.checker.register_queue(self)
+        obs = obs_runtime.active()
+        if obs is not None:
+            obs.register_queue(self)
 
     def __len__(self) -> int:
         return len(self._items)

@@ -1,0 +1,71 @@
+"""Process-wide activation of the telemetry gauge sampler.
+
+Mirrors :mod:`repro.checks.runtime` and :mod:`repro.sim.watchdog`:
+while a sampler is active, every newly built
+:class:`~repro.sim.engine.Simulator`, :class:`TCPConnection` and
+:class:`~repro.net.queue.DropTailQueue` registers itself at
+*construction* time, so the engine's dispatch loop and the component
+hot paths pay a single ``is not None`` test when telemetry is off.
+
+This module deliberately imports nothing from the rest of the package
+(beyond the standard library) so that ``sim.engine``, ``net.queue``
+and ``tcp.connection`` can consult it without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Optional
+
+_active = None
+
+
+def active():
+    """The currently active gauge sampler, or ``None``."""
+    return _active
+
+
+def activate(sampler) -> None:
+    """Install *sampler* as the process-wide active sampler."""
+    global _active
+    if _active is not None:
+        raise RuntimeError("a telemetry sampler is already active")
+    _active = sampler
+
+
+def deactivate() -> None:
+    """Remove the active sampler (idempotent)."""
+    global _active
+    _active = None
+
+
+@contextmanager
+def observing(sampler: Optional[object] = None, path: Optional[str] = None,
+              **kwargs):
+    """Context manager: run a block with an active gauge sampler.
+
+    ::
+
+        with observing(path="run.jsonl") as sampler:
+            run_experiment()      # simulators/connections self-register
+
+    A fresh :class:`~repro.obs.gauges.GaugeSampler` writing to *path*
+    is built unless one is passed in.  The sink is closed on exit only
+    when this function built it.
+    """
+    own_sink = None
+    if sampler is None:
+        from repro.obs.events import TelemetrySink
+        from repro.obs.gauges import GaugeSampler
+
+        if path is None:
+            raise ValueError("observing() needs a sampler or a path")
+        own_sink = TelemetrySink(path)
+        sampler = GaugeSampler(own_sink, **kwargs)
+    activate(sampler)
+    try:
+        yield sampler
+    finally:
+        deactivate()
+        if own_sink is not None:
+            own_sink.close()

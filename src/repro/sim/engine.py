@@ -51,6 +51,7 @@ from typing import Any, Callable, List, Optional
 
 from repro.checks import runtime as checks_runtime
 from repro.errors import SimulationError
+from repro.obs import runtime as obs_runtime
 from repro.perf import runtime as perf_runtime
 from repro.sim import watchdog as watchdog_runtime
 
@@ -169,6 +170,12 @@ class Simulator:
         self.watchdog = watchdog_runtime.active()
         if self.watchdog is not None:
             self.watchdog.register_simulator(self)
+        # Telemetry gauges (repro.obs): read-only sampler on the same
+        # contract — it never schedules, so events_processed is
+        # identical with gauges armed.
+        self.obs = obs_runtime.active()
+        if self.obs is not None:
+            self.obs.register_simulator(self)
         global _last_simulator
         _last_simulator = self
 
@@ -282,6 +289,8 @@ class Simulator:
             self.checker.on_run_end(self)
         if self.watchdog is not None:
             self.watchdog.on_run_end(self)
+        if self.obs is not None:
+            self.obs.on_run_end(self)
         return processed
 
     def _run_fast(self, until: Optional[float],
@@ -292,6 +301,7 @@ class Simulator:
         checker = self.checker
         perf = self.perf
         watchdog = self.watchdog
+        obs = self.obs
         pool = self._pool
         pool_append = pool.append
         horizon = float("inf") if until is None else until
@@ -323,6 +333,8 @@ class Simulator:
                 checker.on_event(self)
             if watchdog is not None:
                 watchdog.on_event(self)
+            if obs is not None:
+                obs.on_event(self)
             fn = event.fn
             args = event.args
             if perf is not None:
@@ -365,6 +377,8 @@ class Simulator:
                 self.checker.on_event(self)
             if self.watchdog is not None:
                 self.watchdog.on_event(self)
+            if self.obs is not None:
+                self.obs.on_event(self)
             if self.perf is not None:
                 self.perf.on_event(event.fn, len(self._heap))
             event.fn(*event.args)

@@ -21,10 +21,12 @@ the paper's graphing tools consume.
 from __future__ import annotations
 
 import enum
-from typing import TYPE_CHECKING, Callable, Dict, Optional
+import heapq
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
 
 from repro.checks import runtime as checks_runtime
 from repro.errors import ProtocolError
+from repro.obs import runtime as obs_runtime
 from repro.sim import watchdog as watchdog_runtime
 from repro.metrics.flowstats import FlowStats
 from repro.net.addresses import FlowId
@@ -96,8 +98,18 @@ class TCPConnection:
         self._timing_seq: Optional[int] = None   # coarse timing (one at a time)
         self._timing_ticks = 0
         # Fine-grained per-segment clocks: end_seq -> last transmit time.
+        # _ends_heap is a min-heap over exactly the dict's keys, so the
+        # smallest outstanding end_seq is O(1) and purging on ACK is
+        # O(log n) per removed entry instead of a full-dict scan.
         self._send_times: Dict[int, float] = {}
+        self._ends_heap: List[int] = []
         self._ambiguous: set = set()   # end_seqs retransmitted (Karn)
+        # Zero-window persist machinery: probe end_seqs are excluded
+        # from congestion-control measurements, and probes back off
+        # exponentially instead of firing every slow tick.
+        self._probe_ends: set = set()
+        self._persist_shift = 0
+        self._persist_countdown = 0
         self.fin_pending = False
         self.fin_sent = False
         self.fin_end: Optional[int] = None
@@ -149,6 +161,11 @@ class TCPConnection:
         _watchdog = watchdog_runtime.active()
         if _watchdog is not None:
             _watchdog.register_connection(self)
+        # Telemetry gauges (repro.obs): registration only; the sampler
+        # reads cwnd/flight/mode from the engine loop.
+        _obs = obs_runtime.active()
+        if _obs is not None:
+            _obs.register_connection(self)
 
     # ------------------------------------------------------------------
     # Convenience properties
@@ -257,7 +274,7 @@ class TCPConnection:
                          seq=self.iss, length=0,
                          ack=self.recv.rcv_nxt if ack else 0,
                          flags=flags, wnd=self.recv.rcv_wnd)
-        self._send_times[self.iss + 1] = self.sim.now
+        self._note_send_time(self.iss + 1, self.sim.now)
         if self._timing_seq is None:
             self._timing_seq = self.iss
             self._timing_ticks = 1
@@ -335,7 +352,8 @@ class TCPConnection:
             return ()
         return tuple(self.recv.reasm.intervals()[:MAX_SACK_BLOCKS])
 
-    def _send_data_segment(self, seq: int, length: int) -> None:
+    def _send_data_segment(self, seq: int, length: int,
+                           probe: bool = False) -> None:
         now = self.sim.now
         stats = self.stats
         recv = self.recv
@@ -359,10 +377,16 @@ class TCPConnection:
                 self._timing_seq = None
         else:
             record(now, Kind.SEND, seq, length)
-            if self._timing_seq is None:
+            if self._timing_seq is None and not probe:
                 self._timing_seq = seq
                 self._timing_ticks = 1
-        self._send_times[end_seq] = now
+        self._note_send_time(end_seq, now)
+        if probe:
+            # A persist probe is a forced 1-byte send outside the
+            # window discipline.  Its RTT measures a starved path, so
+            # it must never become a Vegas distinguished segment or
+            # feed BaseRTT — mark it and keep congestion control blind.
+            self._probe_ends.add(end_seq)
         stats.bytes_sent_total += length
         stats.segments_sent += 1
         if stats.first_send_time is None:
@@ -374,7 +398,8 @@ class TCPConnection:
         if self._checker is not None:
             self._checker.note_sent(self, seq, end_seq)
         self._arm_rexmt()
-        self.cc.on_segment_sent(seq, length, end_seq, is_retx, now)
+        if not probe:
+            self.cc.on_segment_sent(seq, length, end_seq, is_retx, now)
         record(now, Kind.FLIGHT, self.snd_nxt - self.snd_una)
         self._transmit(seg)
 
@@ -386,7 +411,7 @@ class TCPConnection:
         self.recv.ack_sent()
         self.fin_sent = True
         self.fin_end = seq + 1
-        self._send_times[self.fin_end] = self.sim.now
+        self._note_send_time(self.fin_end, self.sim.now)
         if self.fin_end > self.snd_nxt:
             self.snd_nxt = self.fin_end
         if self.fin_end > self.snd_max:
@@ -447,7 +472,7 @@ class TCPConnection:
                          flags=FLAG_ACK | FLAG_FIN, wnd=self.recv.rcv_wnd)
         self.recv.ack_sent()
         if self.fin_end is not None:
-            self._send_times[self.fin_end] = self.sim.now
+            self._note_send_time(self.fin_end, self.sim.now)
             self._ambiguous.add(self.fin_end)
         self._arm_rexmt()
         self._transmit(seg)
@@ -619,10 +644,16 @@ class TCPConnection:
         if sample is not None:
             is_fin_sample = (self.fin_end is not None and ack == self.fin_end
                              and self.sendbuf.queued_end < ack)
-            self.fine_rtt.update(sample, update_base=not is_fin_sample)
+            # A persist probe's RTT is measured through a zero-window
+            # stall; like SYN/FIN samples it feeds the smoothed
+            # estimator but must not lower BaseRTT, and congestion
+            # control never sees it.
+            is_probe_sample = ack in self._probe_ends
+            self.fine_rtt.update(
+                sample, update_base=not (is_fin_sample or is_probe_sample))
             stats.note_rtt(sample)
             record(now, Kind.RTT_SAMPLE, sample * 1e6)
-            if is_fin_sample:
+            if is_fin_sample or is_probe_sample:
                 sample = None
         self._purge_send_times(ack)
         self.snd_una = ack
@@ -692,11 +723,28 @@ class TCPConnection:
             return None
         return self.sim.now - ts
 
+    def _note_send_time(self, end_seq: int, now: float) -> None:
+        """Record a transmit clock, keeping the end-seq heap in sync.
+
+        Retransmissions refresh the clock of an end_seq that is already
+        indexed; only genuinely new keys enter the heap, so heap and
+        dict always hold exactly the same key set.
+        """
+        if end_seq not in self._send_times:
+            heapq.heappush(self._ends_heap, end_seq)
+        self._send_times[end_seq] = now
+
     def _purge_send_times(self, ack: int) -> None:
-        stale = [k for k in self._send_times if k <= ack]
-        for k in stale:
-            del self._send_times[k]
+        # The heap's top is the smallest outstanding end_seq, so the
+        # cumulative ACK peels covered entries in O(log n) each — the
+        # seed scanned the whole dict per ACK, O(window) on every ack.
+        heap = self._ends_heap
+        send_times = self._send_times
+        while heap and heap[0] <= ack:
+            k = heapq.heappop(heap)
+            del send_times[k]
             self._ambiguous.discard(k)
+            self._probe_ends.discard(k)
 
     def first_unacked_send_time(self) -> Optional[float]:
         """Latest transmit time of the segment containing ``snd_una``.
@@ -705,13 +753,20 @@ class TCPConnection:
         ``now - send_time > fine RTO`` the segment is declared lost
         without waiting for three duplicates.
         """
-        best_end: Optional[int] = None
-        for end_seq in self._send_times:
-            if end_seq > self.snd_una and (best_end is None or end_seq < best_end):
-                best_end = end_seq
-        if best_end is None:
+        # snd_una only advances through the purge paths, so the heap's
+        # top is normally already > snd_una; the lazy pop is a
+        # defensive sweep that keeps the invariant even if a caller
+        # moved snd_una directly.
+        heap = self._ends_heap
+        una = self.snd_una
+        while heap and heap[0] <= una:
+            k = heapq.heappop(heap)
+            self._send_times.pop(k, None)
+            self._ambiguous.discard(k)
+            self._probe_ends.discard(k)
+        if not heap:
             return None
-        return self._send_times[best_end]
+        return self._send_times[heap[0]]
 
     # ------------------------------------------------------------------
     # Timers (driven by the host protocol's periodic timers)
@@ -774,7 +829,6 @@ class TCPConnection:
             return
         # Go back to the first unacknowledged byte; with cwnd reset to
         # one segment, output() resends exactly one segment.
-        self.snd_nxt = max(self.snd_una, min(self.snd_nxt, self.snd_una))
         self.snd_nxt = self.snd_una
         if self.snd_una >= self.sendbuf.queued_end and self.fin_sent:
             self._send_fin_again()
@@ -819,11 +873,35 @@ class TCPConnection:
             self.on_closed(self)
 
     def _maybe_persist_probe(self) -> None:
-        """Minimal persist behaviour: probe a zero window once per tick."""
-        if (self.state in (State.ESTABLISHED, State.CLOSING)
-                and self.peer_wnd == 0 and self.flight_size() == 0
-                and self.unsent_bytes() > 0):
-            self._send_data_segment(self.snd_nxt, 1)
+        """Zero-window persist probes with BSD-style exponential backoff.
+
+        The seed sent one probe per 500 ms slow tick forever.  Real BSD
+        backs the persist interval off exponentially (TCPTV_PERSMIN up
+        to TCPTV_PERSMAX); here the countdown doubles per probe, capped
+        at :data:`~repro.tcp.constants.MAX_PERSIST_TICKS`.  Leaving
+        persist (window opened, or nothing left to send) resets the
+        backoff so the next stall starts probing promptly again.
+        """
+        if (self.state not in (State.ESTABLISHED, State.CLOSING)
+                or self.peer_wnd != 0 or self.unsent_bytes() <= 0):
+            self._persist_shift = 0
+            self._persist_countdown = 0
+            return
+        if self.flight_size() > 0:
+            # An earlier probe (or data) is still unacknowledged; the
+            # retransmit machinery owns it.  Backoff state is kept.
+            return
+        if self._persist_countdown > 0:
+            self._persist_countdown -= 1
+            return
+        seq = self.snd_nxt
+        self.stats.persist_probes += 1
+        self._trace(Kind.PROBE, seq, self._persist_shift)
+        self._send_data_segment(seq, 1, probe=True)
+        self._persist_countdown = min(1 << self._persist_shift,
+                                      C.MAX_PERSIST_TICKS)
+        self._persist_shift = min(self._persist_shift + 1,
+                                  C.MAX_REXMT_SHIFT)
 
     # ------------------------------------------------------------------
     # Misc

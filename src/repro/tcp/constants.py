@@ -32,6 +32,11 @@ INITIAL_RTO_TICKS = 12
 #: Maximum exponential-backoff shift applied to the RTO.
 MAX_REXMT_SHIFT = 12
 
+#: Ceiling on the zero-window persist-probe interval, in slow-timer
+#: ticks (120 ticks = 60 s, BSD's TCPTV_PERSMAX).  The probe interval
+#: doubles from one tick up to this cap.
+MAX_PERSIST_TICKS = 120
+
 #: Number of duplicate ACKs that triggers fast retransmit.
 DUPACK_THRESHOLD = 3
 

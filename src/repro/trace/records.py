@@ -41,6 +41,7 @@ class Kind(IntEnum):
     FIN = 17            # a = seq of FIN
     SS_MODE = 18        # a = 1 entering slow-start, 0 leaving (Vegas/Reno)
     RTT_SAMPLE = 19     # a = fine-grained RTT sample in microseconds
+    PROBE = 20          # a = seq, b = persist backoff shift (zero-window probe)
 
 
 class Record(NamedTuple):

@@ -196,5 +196,79 @@ class TestEndToEndInvariants:
             assert injector.held == 0  # nothing parked after drain
 
 
+class TestSendTimeIndexModel:
+    """``_send_times``/``_ends_heap`` must agree with a naive dict model.
+
+    The connection keeps a min-heap over exactly the send-time dict's
+    keys so the cumulative-ACK purge and the Vegas fine-RTO lookup are
+    O(log n) instead of scanning the whole window.  This drives the
+    index through random send/retransmit/ack/query interleavings and
+    checks it against the obvious full-scan model after every step.
+    """
+
+    @staticmethod
+    def _bare_connection():
+        from repro.tcp.connection import TCPConnection
+
+        conn = TCPConnection.__new__(TCPConnection)
+        conn._send_times = {}
+        conn._ends_heap = []
+        conn._ambiguous = set()
+        conn._probe_ends = set()
+        conn.snd_una = 0
+        return conn
+
+    @given(st.lists(st.tuples(st.integers(0, 3), st.integers(1, 8)),
+                    max_size=120))
+    @settings(max_examples=200, deadline=None)
+    def test_matches_naive_model(self, ops):
+        conn = self._bare_connection()
+        model = {}
+        now = 0.0
+        snd_max = 0
+
+        for code, arg in ops:
+            now += 1.0
+            if code == 0:
+                # New data: end_seq strictly beyond everything sent.
+                end_seq = snd_max + arg
+                snd_max = end_seq
+                conn._note_send_time(end_seq, now)
+                model[end_seq] = now
+            elif code == 1:
+                # Retransmission: refresh an outstanding end_seq's clock.
+                if not model:
+                    continue
+                key = sorted(model)[arg % len(model)]
+                conn._note_send_time(key, now)
+                conn._ambiguous.add(key)
+                model[key] = now
+            elif code == 2:
+                # Cumulative ACK through the purge path.
+                ack = min(snd_max, conn.snd_una + arg)
+                conn.snd_una = ack
+                conn._purge_send_times(ack)
+                for key in [k for k in model if k <= ack]:
+                    del model[key]
+            else:
+                # Direct snd_una move (no purge): the lookup's lazy
+                # sweep must repair the index on its own.
+                ack = min(snd_max, conn.snd_una + arg)
+                conn.snd_una = ack
+                for key in [k for k in model if k <= ack]:
+                    del model[key]
+
+            expected = model[min(model)] if model else None
+            assert conn.first_unacked_send_time() == expected
+
+            # Heap and dict hold exactly the same key set, which is
+            # exactly the naive model's outstanding set; the ambiguity
+            # and probe marks never outlive their entries.
+            assert conn._send_times == model
+            assert sorted(conn._ends_heap) == sorted(model)
+            assert conn._ambiguous <= set(model)
+            assert conn._probe_ends <= set(model)
+
+
 if __name__ == "__main__":  # pragma: no cover
     pytest.main([__file__, "-q"])

@@ -49,6 +49,51 @@ class TestRateSampler:
         sim.run(until=2.0)
         assert len(sampler.samples) == count
 
+    def test_restart_does_not_fork_tick_chains(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: sim.now * 1000.0, interval=0.1)
+        sampler.start()
+        sim.run(until=1.0)
+        sampler.stop()
+        sampler.start()
+        sim.run(until=3.0)
+        sampler.stop()
+        # One tick chain: consecutive samples land exactly one interval
+        # apart.  stop() used to leave the pending tick scheduled, so a
+        # stop()/start() cycle ran two interleaved chains and the series
+        # double-sampled forever after.
+        times = [t for t, _ in sampler.samples if t > 1.0]
+        assert len(times) >= 10
+        for earlier, later in zip(times, times[1:]):
+            assert later - earlier == pytest.approx(sampler.interval)
+
+    def test_restart_resets_rate_baseline(self):
+        sim = Simulator()
+        state = {"bytes": 0.0}
+        sampler = RateSampler(sim, lambda: state["bytes"], interval=0.1)
+        sampler.start()
+        sim.run(until=0.55)
+        sampler.stop()
+        state["bytes"] += 1e9  # burst while the sampler is off
+        sampler.start()
+        sim.run(until=1.0)
+        # The off-period burst must not appear as a rate spike: the
+        # restart re-baselines _last_value before its first sample.
+        assert all(rate == 0.0 for t, rate in sampler.samples if t > 0.55)
+
+    def test_repeated_stop_start_is_idempotent(self):
+        sim = Simulator()
+        sampler = RateSampler(sim, lambda: sim.now, interval=0.1)
+        sampler.stop()           # stop before start: no-op
+        sampler.start()
+        sampler.start()          # double start: no second chain
+        sim.run(until=1.0)
+        sampler.stop()
+        sampler.stop()           # double stop: no error
+        count = len(sampler.samples)
+        sim.run(until=2.0)
+        assert len(sampler.samples) == count
+
     def test_parameter_validation(self):
         sim = Simulator()
         with pytest.raises(ConfigurationError):
