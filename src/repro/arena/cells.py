@@ -1,0 +1,163 @@
+"""Arena cell runners: solo, duel, and mixed-cohabitation matchups.
+
+Every matchup reduces to the same simulation shape — a *cohort* of
+bulk flows, one scheme name per flow, pushed through one scenario's
+bottleneck — so one builder (:func:`run_cohort`) serves all three cell
+families:
+
+* ``arena_solo``: a single flow, the scheme's unopposed baseline;
+* ``arena_duel``: one flow each of two schemes (round-robin 1v1);
+* ``arena_mix``: one *subject* flow sharing the bottleneck with N
+  flows of a *cross* scheme (the "one Vegas among Renos" question).
+
+The functions here are module-level and keyword-callable so the
+harness registry can dispatch them in worker processes (see
+``_arena_*_cell`` in :mod:`repro.harness.registry`); they return flat
+``{metric: number}`` dicts like every other cell runner.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from repro.apps.bulk import BulkSink, BulkTransfer
+from repro.arena.scenarios import Scenario, get_scenario
+from repro.core.registry import cc_factory
+from repro.experiments import defaults as DFLT
+from repro.metrics.fairness import jain_fairness_index
+from repro.net.topology import Topology
+from repro.sim.engine import Simulator
+from repro.sim.rng import RngRegistry
+from repro.tcp.protocol import TCPProtocol
+from repro.units import mbps, ms
+
+
+@dataclass
+class FlowOutcome:
+    """Per-flow results of one cohort run."""
+
+    scheme: str
+    throughput_kbps: float
+    retransmit_kb: float
+    coarse_timeouts: int
+    rtt_mean_ms: float
+    done: bool
+
+
+def run_cohort(schemes: Sequence[str], scenario: str,
+               seed: int = 0) -> List[FlowOutcome]:
+    """Run one flow per entry of *schemes* through *scenario*.
+
+    Topology follows the fairness experiment: each flow gets a private
+    source/sink host pair and access links into a shared two-router
+    bottleneck, so flows interact only at the scenario's queue.  Flow
+    starts are staggered by a small seeded jitter — simultaneous SYNs
+    would synchronize slow-start and measure the phase effect, not the
+    schemes.  Outcomes are returned in flow order (``schemes`` order).
+    """
+    spec: Scenario = get_scenario(scenario)
+    factories = [cc_factory(name) for name in schemes]
+    sim = Simulator()
+    topo = Topology(sim)
+    rng = RngRegistry(seed)
+    r1 = topo.add_router("R1")
+    r2 = topo.add_router("R2")
+    topo.add_link(r1, r2, bandwidth=spec.bandwidth, delay=spec.delay,
+                  queue_capacity=spec.buffers, name="bottleneck")
+    sources, sinks = [], []
+    for i in range(len(schemes)):
+        src = topo.add_host(f"S{i}")
+        dst = topo.add_host(f"D{i}")
+        topo.add_link(src, r1, bandwidth=mbps(10), delay=spec.access_delay,
+                      queue_capacity=None, name=f"access{i}")
+        topo.add_link(r2, dst, bandwidth=mbps(10), delay=ms(0.1),
+                      queue_capacity=None, name=f"egress{i}")
+        sources.append(src)
+        sinks.append(dst)
+    topo.build_routes()
+
+    stagger = rng.stream("stagger")
+    transfers: List[BulkTransfer] = [None] * len(schemes)
+    for i, factory in enumerate(factories):
+        sproto = TCPProtocol(sources[i], rng=random.Random(
+            rng.stream(f"timer/s{i}").random()))
+        dproto = TCPProtocol(sinks[i], rng=random.Random(
+            rng.stream(f"timer/d{i}").random()))
+        BulkSink(dproto, DFLT.TRANSFER_PORT)
+        delay = stagger.uniform(0.0, 0.25)
+
+        def _start(slot=i, proto=sproto, dst_name=sinks[i].name,
+                   make_cc=factory) -> None:
+            transfers[slot] = BulkTransfer(proto, dst_name,
+                                           DFLT.TRANSFER_PORT,
+                                           spec.transfer_bytes, cc=make_cc())
+
+        sim.schedule(delay, _start)
+    sim.run(until=spec.horizon)
+
+    outcomes: List[FlowOutcome] = []
+    for scheme, transfer in zip(schemes, transfers):
+        stats = transfer.conn.stats
+        rtt_mean = stats.rtt_mean
+        outcomes.append(FlowOutcome(
+            scheme=scheme,
+            throughput_kbps=stats.throughput_kbps(),
+            retransmit_kb=stats.retransmitted_kb(),
+            coarse_timeouts=stats.coarse_timeouts,
+            rtt_mean_ms=(rtt_mean or 0.0) * 1000.0,
+            done=transfer.done,
+        ))
+    return outcomes
+
+
+def _flow_metrics(prefix: str, flow: FlowOutcome) -> Dict[str, float]:
+    key = f"{prefix}_" if prefix else ""
+    return {
+        f"{key}throughput_kbps": flow.throughput_kbps,
+        f"{key}retransmit_kb": flow.retransmit_kb,
+        f"{key}coarse_timeouts": float(flow.coarse_timeouts),
+        f"{key}rtt_mean_ms": flow.rtt_mean_ms,
+        f"{key}completed": 1.0 if flow.done else 0.0,
+    }
+
+
+def arena_solo(scheme: str, scenario: str, seed: int) -> Dict[str, float]:
+    """One unopposed flow: the scheme's baseline on this scenario."""
+    flow, = run_cohort([scheme], scenario, seed=seed)
+    return _flow_metrics("", flow)
+
+
+def arena_duel(a: str, b: str, scenario: str, seed: int) -> Dict[str, float]:
+    """Round-robin 1v1: one flow of *a* against one flow of *b*."""
+    flow_a, flow_b = run_cohort([a, b], scenario, seed=seed)
+    metrics = _flow_metrics("a", flow_a)
+    metrics.update(_flow_metrics("b", flow_b))
+    metrics["fairness_index"] = jain_fairness_index(
+        [flow_a.throughput_kbps, flow_b.throughput_kbps])
+    return metrics
+
+
+def arena_mix(scheme: str, cross: str, n_cross: int, scenario: str,
+              seed: int) -> Dict[str, float]:
+    """One *scheme* flow cohabiting with *n_cross* flows of *cross*.
+
+    The subject flow is flow 0; the cross cohort's throughput is
+    reported both as an aggregate and per-flow mean so league scoring
+    can ask "what did the subject's presence cost the incumbents?".
+    """
+    if n_cross < 1:
+        raise ValueError(f"n_cross must be >= 1, got {n_cross}")
+    flows = run_cohort([scheme] + [cross] * n_cross, scenario, seed=seed)
+    subject, cohort = flows[0], flows[1:]
+    metrics = _flow_metrics("subject", subject)
+    cohort_rates = [f.throughput_kbps for f in cohort]
+    metrics["cross_throughput_kbps"] = sum(cohort_rates)
+    metrics["cross_mean_throughput_kbps"] = sum(cohort_rates) / len(cohort)
+    metrics["cross_retransmit_kb"] = sum(f.retransmit_kb for f in cohort)
+    metrics["cross_completed"] = (
+        1.0 if all(f.done for f in cohort) else 0.0)
+    metrics["fairness_index"] = jain_fairness_index(
+        [subject.throughput_kbps] + cohort_rates)
+    return metrics

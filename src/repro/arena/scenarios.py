@@ -1,0 +1,101 @@
+"""Arena scenario templates.
+
+A **scenario** is a named bottleneck configuration every matchup runs
+over: bandwidth, propagation delay, router buffering, per-flow
+transfer size, and a simulation horizon.  The set deliberately spans
+the regimes where the paper's §3.2 schemes differentiate — the
+Figure-5 classic (half-to-one BDP of buffering), a starved queue where
+loss-based probing thrashes, a deep queue where delay-based schemes
+shine, a long-fat path, and a short-haul metro path.
+
+Scenarios reuse the canonical :mod:`repro.experiments.defaults`
+numbers where they overlap (``classic`` *is* the Figure-5 bottleneck)
+so the arena and the paper experiments stay mutually calibrated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+from repro.experiments import defaults as DFLT
+from repro.units import kb, kbps, ms
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One named bottleneck configuration for arena matchups."""
+
+    name: str
+    description: str
+    bandwidth: float        # bottleneck bandwidth, bytes/second
+    delay: float            # bottleneck one-way propagation, seconds
+    buffers: int            # bottleneck queue capacity, packets
+    access_delay: float     # per-flow access-link propagation, seconds
+    transfer_bytes: int     # per-flow bulk transfer size
+    horizon: float          # simulated seconds before the run is cut
+
+    @property
+    def transfer_kb(self) -> int:
+        return self.transfer_bytes // 1024
+
+
+SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
+    Scenario("classic",
+             "the paper's Figure-5 bottleneck: 200 KB/s, 50 ms, 10 buffers",
+             bandwidth=DFLT.BOTTLENECK_BANDWIDTH,
+             delay=DFLT.BOTTLENECK_DELAY,
+             buffers=DFLT.DEFAULT_BUFFERS,
+             access_delay=ms(10), transfer_bytes=kb(300), horizon=180.0),
+    Scenario("shallow",
+             "starved queue: Figure-5 link with only 4 buffers",
+             bandwidth=DFLT.BOTTLENECK_BANDWIDTH,
+             delay=DFLT.BOTTLENECK_DELAY,
+             buffers=4,
+             access_delay=ms(10), transfer_bytes=kb(300), horizon=180.0),
+    Scenario("deep",
+             "over-buffered queue: Figure-5 link with 40 buffers (~2 BDP)",
+             bandwidth=DFLT.BOTTLENECK_BANDWIDTH,
+             delay=DFLT.BOTTLENECK_DELAY,
+             buffers=40,
+             access_delay=ms(10), transfer_bytes=kb(300), horizon=180.0),
+    Scenario("lfn",
+             "long fat network: 600 KB/s, 100 ms one-way, 25 buffers",
+             bandwidth=kbps(600), delay=ms(100), buffers=25,
+             access_delay=ms(10), transfer_bytes=kb(600), horizon=180.0),
+    Scenario("metro",
+             "short-haul fast path: 1 MB/s, 5 ms one-way, 10 buffers",
+             bandwidth=kbps(1000), delay=ms(5), buffers=10,
+             access_delay=ms(1), transfer_bytes=kb(600), horizon=120.0),
+    # Tiny grid point for tests and the CI registry-completeness suite;
+    # not part of any default selection.
+    Scenario("smoke",
+             "test-sized classic bottleneck: 64 KB transfers",
+             bandwidth=DFLT.BOTTLENECK_BANDWIDTH,
+             delay=DFLT.BOTTLENECK_DELAY,
+             buffers=DFLT.DEFAULT_BUFFERS,
+             access_delay=ms(10), transfer_bytes=kb(64), horizon=60.0),
+)}
+
+#: Default full-matrix selection (every scenario except ``smoke``).
+DEFAULT_SCENARIOS: Tuple[str, ...] = (
+    "classic", "shallow", "deep", "lfn", "metro")
+
+#: The ``--quick`` selection: two contrasting buffer regimes.
+QUICK_SCENARIOS: Tuple[str, ...] = ("classic", "shallow")
+
+
+def available_scenarios() -> List[str]:
+    """Sorted list of scenario names."""
+    return sorted(SCENARIOS)
+
+
+def get_scenario(name: str) -> Scenario:
+    """Look up a scenario by name."""
+    try:
+        return SCENARIOS[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown arena scenario {name!r}; "
+            f"available: {available_scenarios()}") from None

@@ -1,26 +1,29 @@
 """Command-line interface: regenerate any of the paper's artifacts.
 
+``python -m repro <cmd>`` is the single documented entry point.
 Usage::
 
-    python -m repro.cli list
-    python -m repro.cli figure6
-    python -m repro.cli figure7 --seed 3
-    python -m repro.cli table1 --quick
-    python -m repro.cli table2 --seeds 4
-    python -m repro.cli table4
-    python -m repro.cli table5
-    python -m repro.cli sendbuf
-    python -m repro.cli fairness
-    python -m repro.cli telnet
-    python -m repro.cli solo --cc vegas-1,3 --size-kb 512 --buffers 15
-    python -m repro.cli run-all --quick --jobs 4 --json results.json
-    python -m repro.cli run-all --quick --watchdog --retries 2
-    python -m repro.cli run-all --only table4/proto=reno/seed=0 --no-timeout
-    python -m repro.cli run-all --quick --json r.json --telemetry run.jsonl
-    python -m repro.cli report r.json --telemetry run.jsonl
-    python -m repro.cli bench --rounds 3
+    python -m repro list
+    python -m repro figure6
+    python -m repro figure7 --seed 3
+    python -m repro table1 --quick
+    python -m repro table2 --seeds 4
+    python -m repro table4
+    python -m repro table5
+    python -m repro sendbuf
+    python -m repro fairness
+    python -m repro telnet
+    python -m repro solo --cc vegas-1,3 --size-kb 512 --buffers 15
+    python -m repro run-all --quick --jobs 4 --json results.json
+    python -m repro run-all --quick --watchdog --retries 2
+    python -m repro run-all --only table4/proto=reno/seed=0 --no-timeout
+    python -m repro run-all --quick --json r.json --telemetry run.jsonl
+    python -m repro check r.json baselines/expected.json --tolerance 0.15
+    python -m repro report r.json --telemetry run.jsonl
+    python -m repro arena --quick --json arena.json --out league.md
+    python -m repro bench --rounds 3
 
-(``python -m repro ...`` is an equivalent spelling of every command.)
+(``python -m repro.cli ...`` remains an equivalent legacy spelling.)
 
 Each subcommand prints the regenerated table or trace summary, with
 the paper's numbers alongside where the paper gives them.  ``run-all``
@@ -326,6 +329,15 @@ def _cmd_run_all(args) -> int:
     return 3 if report.failures else 0
 
 
+def _cmd_check(args) -> int:
+    from repro.harness import check as check_mod
+
+    argv = [args.results, args.expected, "--tolerance", str(args.tolerance)]
+    if args.telemetry:
+        argv.extend(["--telemetry", args.telemetry])
+    return check_mod.main(argv)
+
+
 def _cmd_report(args) -> int:
     from repro.obs import report as report_mod
 
@@ -456,6 +468,25 @@ def build_parser() -> argparse.ArgumentParser:
                               "gauges (cwnd/flight/queue depth); render "
                               "it with `repro report`")
     run_all.set_defaults(fn=_cmd_run_all)
+
+    from repro.arena import command as arena_command
+
+    arena_command.configure_parser(sub)
+
+    check_cmd = sub.add_parser(
+        "check",
+        help="gate a run-all/arena JSON artifact against a committed "
+             "baseline (exit 1 = drift, 3 = quarantined cells)")
+    check_cmd.add_argument("results", help="artifact from run-all/arena "
+                                           "--json")
+    check_cmd.add_argument("expected", help="committed baseline artifact")
+    check_cmd.add_argument("--tolerance", type=float, default=0.15,
+                           help="relative tolerance per metric "
+                                "(default 0.15)")
+    check_cmd.add_argument("--telemetry", metavar="PATH", default=None,
+                           help="append the gate verdict to this telemetry "
+                                "JSONL")
+    check_cmd.set_defaults(fn=_cmd_check)
 
     report_cmd = sub.add_parser(
         "report",

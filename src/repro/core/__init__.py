@@ -5,7 +5,15 @@ from repro.core.base import CongestionControl
 from repro.core.card import CardCC
 from repro.core.dual import DualCC
 from repro.core.newreno import NewRenoCC
-from repro.core.registry import available, cc_factory, make_cc, register
+from repro.core.registry import (
+    SchemeInfo,
+    arena_roster,
+    available,
+    cc_factory,
+    make_cc,
+    register,
+    scheme_info,
+)
 from repro.core.reno import RenoCC
 from repro.core.sack import SackRenoCC, SackVegasCC
 from repro.core.tahoe import TahoeCC
@@ -23,8 +31,11 @@ __all__ = [
     "DualCC",
     "CardCC",
     "TriSCC",
+    "SchemeInfo",
+    "arena_roster",
     "available",
     "cc_factory",
     "make_cc",
     "register",
+    "scheme_info",
 ]

@@ -4,11 +4,20 @@ Experiments refer to protocols by name ("reno", "vegas", "vegas-1,3",
 ...), mirroring the paper's table headings.  :func:`make_cc` turns a
 name into a fresh controller instance; :func:`cc_factory` returns a
 zero-argument callable for listener-side use.
+
+Beyond construction, the registry carries per-scheme capability
+metadata (:class:`SchemeInfo`): which congestion *signal* a scheme
+reacts to (loss vs delay), whether it repairs holes with SACK, and
+whether a name is a parameter variant of another scheme.  The arena
+(:mod:`repro.arena`) uses this to build its tournament roster —
+:func:`arena_roster` — without hard-coding the scheme list a second
+time.
 """
 
 from __future__ import annotations
 
-from typing import Callable, Dict
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional
 
 from repro.core.base import CongestionControl
 from repro.core.card import CardCC
@@ -38,14 +47,81 @@ _BUILDERS: Dict[str, Callable[[], CongestionControl]] = {
 }
 
 
-def register(name: str, builder: Callable[[], CongestionControl]) -> None:
-    """Register a custom controller under *name* (overwrites allowed)."""
+@dataclass(frozen=True)
+class SchemeInfo:
+    """Capability metadata for one registered scheme.
+
+    ``signal`` is the congestion signal the scheme's avoidance policy
+    reacts to: ``"loss"`` (Reno-family probing), ``"delay"`` (Vegas'
+    expected-vs-actual throughput, DUAL/CARD RTT trends, Tri-S
+    gradients), or ``"none"`` (the fixed-window base).  ``variant_of``
+    names the scheme a registry entry merely re-parameterizes
+    ("vegas-1,3" is Vegas with a different α/β band) — variants are
+    excluded from the arena roster so the tournament compares
+    *algorithms*, not parameter settings.
+    """
+
+    name: str
+    signal: str                       # "loss" | "delay" | "none"
+    sack: bool = False                # repairs holes with SACK blocks
+    variant_of: Optional[str] = None  # parameter variant of this scheme
+
+
+_INFO: Dict[str, SchemeInfo] = {info.name: info for info in (
+    SchemeInfo("fixed", "none"),
+    SchemeInfo("reno", "loss"),
+    SchemeInfo("newreno", "loss"),
+    SchemeInfo("tahoe", "loss"),
+    SchemeInfo("vegas", "delay"),
+    SchemeInfo("vegas-1,3", "delay", variant_of="vegas"),
+    SchemeInfo("vegas-2,4", "delay", variant_of="vegas"),
+    SchemeInfo("vegas-paced", "delay", variant_of="vegas"),
+    SchemeInfo("reno-sack", "loss", sack=True),
+    SchemeInfo("vegas-sack", "delay", sack=True, variant_of="vegas"),
+    SchemeInfo("dual", "delay"),
+    SchemeInfo("card", "delay"),
+    SchemeInfo("tri-s", "delay"),
+)}
+
+
+def register(name: str, builder: Callable[[], CongestionControl],
+             info: Optional[SchemeInfo] = None) -> None:
+    """Register a custom controller under *name* (overwrites allowed).
+
+    *info*, when given, attaches capability metadata so the custom
+    scheme participates in introspection (and, if eligible, the arena
+    roster); without it the scheme is constructible but reported as an
+    unclassified ``signal="none"`` entry.
+    """
     _BUILDERS[name] = builder
+    if info is not None:
+        _INFO[name] = info
+    elif name not in _INFO:
+        _INFO[name] = SchemeInfo(name, "none")
 
 
 def available() -> list:
     """Sorted list of registered controller names."""
     return sorted(_BUILDERS)
+
+
+def scheme_info(name: str) -> SchemeInfo:
+    """Capability metadata for the named scheme."""
+    if name not in _BUILDERS:
+        raise ConfigurationError(
+            f"unknown congestion control {name!r}; available: {available()}")
+    return _INFO[name]
+
+
+def arena_roster() -> List[str]:
+    """The tournament roster: every distinct congestion *algorithm*.
+
+    Excludes the fixed-window base (no congestion reaction to compare)
+    and parameter variants (``variant_of`` set), leaving the paper's
+    eight: Reno, NewReno, Tahoe, SACK-Reno, Vegas, DUAL, CARD, Tri-S.
+    """
+    return [name for name in available()
+            if _INFO[name].signal != "none" and _INFO[name].variant_of is None]
 
 
 def cc_factory(name: str) -> Callable[[], CongestionControl]:

@@ -213,6 +213,32 @@ def _telnet_cell(cc: str, seed: int) -> Dict[str, float]:
     }
 
 
+# Arena matchup cells (see repro.arena): registered as built-in
+# runners so worker processes resolve them by name under any
+# multiprocessing start method, but with *no* fixed grid — their cells
+# come from the parameterized ``arena`` family (family_cells) instead
+# of the run-all sweep.
+
+def _arena_solo_cell(scheme: str, scenario: str, seed: int) -> Dict[str, float]:
+    from repro.arena.cells import arena_solo
+
+    return arena_solo(scheme, scenario, seed)
+
+
+def _arena_duel_cell(a: str, b: str, scenario: str,
+                     seed: int) -> Dict[str, float]:
+    from repro.arena.cells import arena_duel
+
+    return arena_duel(a, b, scenario, seed)
+
+
+def _arena_mix_cell(scheme: str, cross: str, n_cross: int, scenario: str,
+                    seed: int) -> Dict[str, float]:
+    from repro.arena.cells import arena_mix
+
+    return arena_mix(scheme, cross, n_cross, scenario, seed)
+
+
 _RUNNERS: Dict[str, Callable[..., Dict[str, float]]] = {
     "table1": _table1_cell,
     "table2": _table2_cell,
@@ -226,6 +252,9 @@ _RUNNERS: Dict[str, Callable[..., Dict[str, float]]] = {
     "fairness": _fairness_cell,
     "twoway": _twoway_cell,
     "telnet": _telnet_cell,
+    "arena_solo": _arena_solo_cell,
+    "arena_duel": _arena_duel_cell,
+    "arena_mix": _arena_mix_cell,
 }
 
 
@@ -338,6 +367,48 @@ _GRIDS: Dict[str, Callable[[bool], List[Cell]]] = {
 EXPERIMENTS: Tuple[str, ...] = tuple(_GRIDS)
 
 
+# ----------------------------------------------------------------------
+# Cell families: parameterized grids generated from selection
+# arguments (scheme/scenario/seed subsets), unlike the fixed quick/full
+# experiment grids above.  A family's cells run through the same
+# supervised runner/cache/quarantine pipeline as any sweep cell.
+# ----------------------------------------------------------------------
+
+def _arena_family(**selection) -> List[Cell]:
+    from repro.arena.matrix import generate_matrix
+
+    return generate_matrix(**selection)
+
+
+_FAMILIES: Dict[str, Callable[..., List[Cell]]] = {
+    "arena": _arena_family,
+}
+
+
+def families() -> List[str]:
+    """Sorted list of registered cell-family names."""
+    return sorted(_FAMILIES)
+
+
+def register_family(name: str,
+                    generator: Callable[..., List[Cell]]) -> None:
+    """Register a parameterized cell family at runtime."""
+    if name in _FAMILIES:
+        raise ReproError(f"cell family {name!r} is already registered")
+    _FAMILIES[name] = generator
+
+
+def family_cells(name: str, **selection: Any) -> List[Cell]:
+    """Generate one family's cells from keyword selection arguments."""
+    try:
+        generator = _FAMILIES[name]
+    except KeyError:
+        known = ", ".join(families())
+        raise ReproError(
+            f"unknown cell family {name!r} (known: {known})") from None
+    return generator(**selection)
+
+
 def register_experiment(name: str,
                         runner: Callable[..., Dict[str, float]],
                         grid: Optional[Callable[[bool], List[Cell]]] = None,
@@ -370,7 +441,9 @@ def unregister_experiment(name: str) -> None:
         EXPERIMENTS = tuple(_GRIDS)
 
 
-_BUILTIN_EXPERIMENTS = frozenset(EXPERIMENTS)
+# Covers grid experiments *and* grid-less built-in runners (the arena
+# cell families dispatch through those).
+_BUILTIN_EXPERIMENTS = frozenset(_RUNNERS)
 
 
 def cells_for(experiment: str, quick: bool = False) -> List[Cell]:

@@ -31,8 +31,13 @@ def _mean(values: Sequence[float]) -> float:
     return sum(values) / len(values) if values else 0.0
 
 
-def _table(headers: Sequence[str], rows: Sequence[Sequence[Any]]) -> List[str]:
-    """Render a GitHub-style Markdown table."""
+def markdown_table(headers: Sequence[str],
+                   rows: Sequence[Sequence[Any]]) -> List[str]:
+    """Render a GitHub-style Markdown table (lines, no trailing \n).
+
+    Shared by the run report and the arena league tables
+    (:mod:`repro.arena.league`).
+    """
     cells = [[str(h) for h in headers]] + [[str(c) for c in row]
                                            for row in rows]
     widths = [max(len(row[i]) for row in cells)
@@ -84,7 +89,7 @@ def _headline(cells: List[Dict[str, Any]]) -> List[str]:
                          f"{ratio:.2f}x"])
     if not rows:
         return ["(no cells carry a reno/vegas protocol parameter)"]
-    return _table(["experiment", "metric", "reno mean", "vegas mean",
+    return markdown_table(["experiment", "metric", "reno mean", "vegas mean",
                    "vegas/reno"], rows)
 
 
@@ -95,7 +100,7 @@ def _telemetry_section(events: List[Dict[str, Any]]) -> List[str]:
         counts[event["event"]] += 1
     lines.append("### Event counts")
     lines.append("")
-    lines.extend(_table(["event", "count"],
+    lines.extend(markdown_table(["event", "count"],
                         [[name, counts[name]] for name in sorted(counts)]))
     spans = [e for e in events
              if e["event"].endswith(".end") and "duration_s" in e]
@@ -106,7 +111,7 @@ def _telemetry_section(events: List[Dict[str, Any]]) -> List[str]:
         lines.append("")
         lines.append("### Span durations")
         lines.append("")
-        lines.extend(_table(
+        lines.extend(markdown_table(
             ["span", "count", "total s", "mean s", "max s"],
             [[name, len(d), f"{sum(d):.3f}", f"{_mean(d):.3f}",
               f"{max(d):.3f}"] for name, d in sorted(by_name.items())]))
@@ -171,7 +176,7 @@ def render_report(doc: Dict[str, Any],
         cached = sum(1 for c in by_exp[exp] if c.get("cached"))
         rows.append([exp, len(walls), cached, f"{sum(walls):.2f}",
                      f"{_mean(walls):.2f}", f"{max(walls):.2f}"])
-    lines.extend(_table(["experiment", "cells", "cached", "total s",
+    lines.extend(markdown_table(["experiment", "cells", "cached", "total s",
                          "mean s", "max s"], rows))
 
     slowest = sorted((c for c in cells if not c.get("cached")),
@@ -181,7 +186,7 @@ def render_report(doc: Dict[str, Any],
         lines.append("")
         lines.append(f"## Top {len(slowest)} slowest cells")
         lines.append("")
-        lines.extend(_table(
+        lines.extend(markdown_table(
             ["cell", "wall s", "events"],
             [[c["key"], f"{c.get('wall_clock_s', 0.0):.2f}",
               f"{int(c.get('metrics', {}).get('events_processed', 0)):,}"]
@@ -197,7 +202,7 @@ def render_report(doc: Dict[str, Any],
         lines.append(", ".join(f"{kind}: {taxonomy[kind]}"
                                for kind in sorted(taxonomy)))
         lines.append("")
-        lines.extend(_table(
+        lines.extend(markdown_table(
             ["cell", "kind", "attempts", "message"],
             [[f.get("key", "?"), f.get("kind", "?"),
               f.get("attempts", "?"),
