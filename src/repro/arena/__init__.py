@@ -25,6 +25,7 @@ _EXPORTS = {
     "MODES": "matrix", "describe_matrix": "matrix",
     "generate_matrix": "matrix",
     "DEFAULT_SCENARIOS": "scenarios", "QUICK_SCENARIOS": "scenarios",
+    "TIME_VARYING_SCENARIOS": "scenarios",
     "SCENARIOS": "scenarios", "Scenario": "scenarios",
     "available_scenarios": "scenarios", "get_scenario": "scenarios",
 }
@@ -53,6 +54,7 @@ __all__ = [
     "MODES",
     "DEFAULT_SCENARIOS",
     "QUICK_SCENARIOS",
+    "TIME_VARYING_SCENARIOS",
     "SCENARIOS",
     "Scenario",
     "Standing",

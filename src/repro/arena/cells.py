@@ -64,8 +64,20 @@ def run_cohort(schemes: Sequence[str], scenario: str,
     rng = RngRegistry(seed)
     r1 = topo.add_router("R1")
     r2 = topo.add_router("R2")
+    # Time-varying scenarios carry a TraceSpec; build it from the
+    # cell's own seeded streams so the trace (and any stochastic loss)
+    # is a pure function of (scenario, seed).  Static scenarios take
+    # the unchanged closed-form path — no extra streams, no trace —
+    # so their cells stay bit-identical to the committed baselines.
+    link_kwargs = {}
+    if spec.trace is not None:
+        link_kwargs["trace"] = spec.trace.build(rng.stream("link-trace"))
+    if spec.loss > 0.0:
+        link_kwargs["loss"] = spec.loss
+        link_kwargs["loss_rng"] = rng.stream("link-loss")
     topo.add_link(r1, r2, bandwidth=spec.bandwidth, delay=spec.delay,
-                  queue_capacity=spec.buffers, name="bottleneck")
+                  queue_capacity=spec.buffers, name="bottleneck",
+                  **link_kwargs)
     sources, sinks = [], []
     for i in range(len(schemes)):
         src = topo.add_host(f"S{i}")

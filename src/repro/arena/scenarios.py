@@ -16,10 +16,11 @@ so the arena and the paper experiments stay mutually calibrated.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from repro.errors import ConfigurationError
 from repro.experiments import defaults as DFLT
+from repro.net.traces import TraceSpec
 from repro.units import kb, kbps, ms
 
 
@@ -35,10 +36,22 @@ class Scenario:
     access_delay: float     # per-flow access-link propagation, seconds
     transfer_bytes: int     # per-flow bulk transfer size
     horizon: float          # simulated seconds before the run is cut
+    #: Optional time-varying bandwidth recipe; when set, the bottleneck
+    #: drains along the built trace and ``bandwidth`` is only the
+    #: nominal (cycle-mean) figure shown in tables.
+    trace: Optional[TraceSpec] = None
+    #: Stochastic per-packet loss on the bottleneck, independent of
+    #: queue drops (seeded per cell; see VariableRateChannel).
+    loss: float = 0.0
 
     @property
     def transfer_kb(self) -> int:
         return self.transfer_bytes // 1024
+
+    @property
+    def time_varying(self) -> bool:
+        """True when the bottleneck is trace-driven or lossy."""
+        return self.trace is not None or self.loss > 0.0
 
 
 SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
@@ -68,6 +81,38 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
              "short-haul fast path: 1 MB/s, 5 ms one-way, 10 buffers",
              bandwidth=kbps(1000), delay=ms(5), buffers=10,
              access_delay=ms(1), transfer_bytes=kb(600), horizon=120.0),
+    # ------------------------------------------------------------------
+    # Time-varying bottlenecks (trace-driven links; see repro.net.traces)
+    # ------------------------------------------------------------------
+    Scenario("steps",
+             "square-wave capacity: 300<->100 KB/s every 8 s, 50 ms, "
+             "20 buffers",
+             bandwidth=kbps(200), delay=DFLT.BOTTLENECK_DELAY, buffers=20,
+             access_delay=ms(10), transfer_bytes=kb(300), horizon=120.0,
+             trace=TraceSpec.make(
+                 "steps", steps=((8.0, kbps(300)), (8.0, kbps(100))))),
+    Scenario("lte",
+             "cellular sawtooth: 1 MB/s peak fading to 100 KB/s with "
+             "deep fades, 30 ms, 50 buffers",
+             bandwidth=kbps(550), delay=ms(30), buffers=50,
+             access_delay=ms(10), transfer_bytes=kb(600), horizon=120.0,
+             trace=TraceSpec.make(
+                 "cellular", peak=kbps(1000), trough=kbps(100))),
+    Scenario("wifi",
+             "random-walk capacity around 500 KB/s plus 0.5% stochastic "
+             "loss, 10 ms, 25 buffers",
+             bandwidth=kbps(500), delay=ms(10), buffers=25,
+             access_delay=ms(5), transfer_bytes=kb(600), horizon=120.0,
+             trace=TraceSpec.make(
+                 "random-walk", mean=kbps(500), step=kbps(60)),
+             loss=0.005),
+    Scenario("outage",
+             "250 KB/s link that goes dark 2 s out of every 15 s, "
+             "50 ms, 20 buffers",
+             bandwidth=kbps(250), delay=DFLT.BOTTLENECK_DELAY, buffers=20,
+             access_delay=ms(10), transfer_bytes=kb(300), horizon=120.0,
+             trace=TraceSpec.make(
+                 "outage", rate=kbps(250), period=15.0, down=2.0)),
     # Tiny grid point for tests and the CI registry-completeness suite;
     # not part of any default selection.
     Scenario("smoke",
@@ -80,7 +125,11 @@ SCENARIOS: Dict[str, Scenario] = {s.name: s for s in (
 
 #: Default full-matrix selection (every scenario except ``smoke``).
 DEFAULT_SCENARIOS: Tuple[str, ...] = (
-    "classic", "shallow", "deep", "lfn", "metro")
+    "classic", "shallow", "deep", "lfn", "metro",
+    "steps", "lte", "wifi", "outage")
+
+#: The trace-driven subset of the matrix.
+TIME_VARYING_SCENARIOS: Tuple[str, ...] = ("steps", "lte", "wifi", "outage")
 
 #: The ``--quick`` selection: two contrasting buffer regimes.
 QUICK_SCENARIOS: Tuple[str, ...] = ("classic", "shallow")

@@ -298,6 +298,10 @@ class InvariantChecker:
         if channel.faults is not None:
             absorbed = channel.faults.absorbed
             extra = channel.faults.extra
+        # Stochastic channel loss (VariableRateChannel) destroys
+        # packets at their delivery instant, exactly like an absorbed
+        # fault.
+        absorbed += getattr(channel, "stochastic_losses", 0)
         accounted = in_transit + channel.packets_delivered - extra + absorbed
         if channel.queue.dequeued != accounted:
             self._fail(

@@ -1,21 +1,31 @@
-"""Network substrate: packets, queues, links, LANs, nodes, topologies."""
+"""Network substrate: packets, queues, links, LANs, nodes, topologies,
+and time-varying bandwidth traces."""
 
 from repro.net.addresses import FlowId
-from repro.net.link import Channel, EthernetLan, PointToPointLink
+from repro.net.link import (
+    Channel,
+    EthernetLan,
+    PointToPointLink,
+    VariableRateChannel,
+)
 from repro.net.node import Host, Node, Router
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
 from repro.net.topology import Topology
+from repro.net.traces import BandwidthTrace, TraceSpec
 
 __all__ = [
     "FlowId",
     "Channel",
     "EthernetLan",
     "PointToPointLink",
+    "VariableRateChannel",
     "Host",
     "Node",
     "Router",
     "Packet",
     "DropTailQueue",
     "Topology",
+    "BandwidthTrace",
+    "TraceSpec",
 ]

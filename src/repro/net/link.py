@@ -18,6 +18,7 @@ forward serialisation delay matters.
 
 from __future__ import annotations
 
+import random
 from collections import deque
 from typing import TYPE_CHECKING, Deque, List, Optional
 
@@ -26,10 +27,26 @@ from repro.errors import ConfigurationError
 from repro.faults import runtime as faults_runtime
 from repro.net.packet import Packet
 from repro.net.queue import DropTailQueue
+from repro.net.traces import BandwidthTrace, constant_trace
 from repro.sim.engine import Simulator
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.net.node import Node
+
+
+def validate_link_params(bandwidth: float, delay: float,
+                         who: str = "link") -> None:
+    """Shared construction guard for every link-layer component.
+
+    One wording for channels, point-to-point links and LANs, so a bad
+    topology fails the same way whichever layer catches it first.
+    """
+    if bandwidth <= 0:
+        raise ConfigurationError(
+            f"{who}: bandwidth must be positive, got {bandwidth!r}")
+    if delay < 0:
+        raise ConfigurationError(
+            f"{who}: delay must be non-negative, got {delay!r}")
 
 
 class Channel:
@@ -42,10 +59,7 @@ class Channel:
 
     def __init__(self, sim: Simulator, bandwidth: float, delay: float,
                  queue: DropTailQueue, name: str = "channel"):
-        if bandwidth <= 0:
-            raise ConfigurationError("channel bandwidth must be positive")
-        if delay < 0:
-            raise ConfigurationError("channel delay must be non-negative")
+        validate_link_params(bandwidth, delay, who=f"channel {name!r}")
         self.sim = sim
         self.bandwidth = bandwidth
         self.delay = delay
@@ -129,6 +143,72 @@ class Channel:
         return self.bytes_delivered
 
 
+class VariableRateChannel(Channel):
+    """A channel that drains its queue at a time-varying rate.
+
+    Instead of the closed-form ``packet.size / bandwidth``, each
+    packet's serialisation time is the integral of a
+    :class:`~repro.net.traces.BandwidthTrace` from the moment it is
+    dequeued — so a rate change (or a zero-rate outage segment) in the
+    middle of a transmission delays delivery by exactly the capacity
+    lost, the way a mahimahi link defers delivery opportunities.
+
+    ``loss`` adds stochastic per-packet loss *independent of queue
+    drops*: each packet surviving to its delivery instant is destroyed
+    with probability ``loss``, drawn from the caller-supplied seeded
+    ``loss_rng`` so runs stay bit-reproducible.  Lost packets are
+    counted in ``stochastic_losses`` (the invariant checker treats
+    them like fault-absorbed packets).
+
+    With a constant trace and ``loss=0`` the schedule degenerates to
+    the parent's exact float arithmetic, so the channel is
+    bit-identical to a static :class:`Channel` — the differential gate
+    the baselines rely on.
+
+    ``Channel.bandwidth`` is kept as the trace's cycle-mean rate: a
+    nominal label for reports, never used in the drain computation.
+    """
+
+    def __init__(self, sim: Simulator, trace: BandwidthTrace, delay: float,
+                 queue: DropTailQueue, name: str = "channel",
+                 loss: float = 0.0,
+                 loss_rng: Optional[random.Random] = None):
+        super().__init__(sim, trace.mean_rate, delay, queue, name=name)
+        self.trace = trace
+        if not 0.0 <= loss < 1.0:
+            raise ConfigurationError(
+                f"channel {name!r}: loss must be in [0, 1), got {loss!r}")
+        self.loss = loss
+        self.stochastic_losses = 0
+        if loss > 0.0:
+            if loss_rng is None:
+                raise ConfigurationError(
+                    f"channel {name!r}: stochastic loss needs a seeded "
+                    "loss_rng (determinism is part of the contract)")
+            self._loss_rng = loss_rng
+            # Wrap whatever delivery path the parent chose (clean or
+            # faults-aware) behind the loss draw.
+            self._post_loss_fn = self._deliver_fn
+            self._deliver_fn = self._lossy_deliver
+
+    def _transmit_next(self) -> None:
+        packet = self.queue.poll(self.sim.now)
+        if packet is None:
+            self._busy = False
+            return
+        self._busy = True
+        self.in_transit += 1
+        self._schedule(self.trace.time_to_send(packet.size, self.sim.now),
+                       self._tx_done, packet)
+
+    def _lossy_deliver(self, packet: Packet) -> None:
+        if self._loss_rng.random() < self.loss:
+            self.stochastic_losses += 1
+            self.in_transit -= 1
+            return
+        self._post_loss_fn(packet)
+
+
 class Port:
     """A node's attachment point to a link or LAN.
 
@@ -161,22 +241,50 @@ class PointToPointLink:
     Each direction gets its own egress queue; ``queue_capacity``
     expresses the router-buffer count of the paper (``None`` for an
     unbounded host-side queue).
+
+    With ``trace`` set (a :class:`~repro.net.traces.BandwidthTrace`)
+    both directions drain along that time-varying profile instead of
+    the static ``bandwidth``, which then serves only as a nominal
+    label.  ``loss`` adds seeded stochastic loss (independent of queue
+    drops) to both directions; it requires ``loss_rng``, a
+    ``random.Random`` shared by the two channels so the draw sequence
+    stays a deterministic function of the run's event order.
+
+    Parameters are validated once here — the link layer's uniform
+    guard — before any channel or port is built, so a bad link never
+    leaves half-attached ports behind.
     """
 
     def __init__(self, sim: Simulator, a: "Node", b: "Node", bandwidth: float,
                  delay: float, queue_capacity: Optional[int] = None,
-                 name: str = "", queue_factory=None):
+                 name: str = "", queue_factory=None,
+                 trace: Optional[BandwidthTrace] = None, loss: float = 0.0,
+                 loss_rng: Optional[random.Random] = None):
         self.name = name or f"{a.name}<->{b.name}"
         self.a = a
         self.b = b
+        self.trace = trace
+        validate_link_params(
+            bandwidth if trace is None else trace.mean_rate, delay,
+            who=f"link {self.name!r}")
         if queue_factory is not None:
             qa = queue_factory(f"{a.name}->{b.name}")
             qb = queue_factory(f"{b.name}->{a.name}")
         else:
             qa = DropTailQueue(queue_capacity, name=f"{a.name}->{b.name}")
             qb = DropTailQueue(queue_capacity, name=f"{b.name}->{a.name}")
-        self.ab = Channel(sim, bandwidth, delay, qa, name=qa.name)
-        self.ba = Channel(sim, bandwidth, delay, qb, name=qb.name)
+        if trace is not None or loss > 0.0:
+            ch_trace = trace if trace is not None \
+                else constant_trace(bandwidth, name=self.name)
+            self.ab = VariableRateChannel(sim, ch_trace, delay, qa,
+                                          name=qa.name, loss=loss,
+                                          loss_rng=loss_rng)
+            self.ba = VariableRateChannel(sim, ch_trace, delay, qb,
+                                          name=qb.name, loss=loss,
+                                          loss_rng=loss_rng)
+        else:
+            self.ab = Channel(sim, bandwidth, delay, qa, name=qa.name)
+            self.ba = Channel(sim, bandwidth, delay, qb, name=qb.name)
         self.ab.dst = b
         self.ba.dst = a
         a.add_port(_P2PPort(self.ab, b))
@@ -214,8 +322,7 @@ class EthernetLan:
 
     def __init__(self, sim: Simulator, bandwidth: float, latency: float,
                  name: str = "lan"):
-        if bandwidth <= 0:
-            raise ConfigurationError("LAN bandwidth must be positive")
+        validate_link_params(bandwidth, latency, who=f"LAN {name!r}")
         self.sim = sim
         self.bandwidth = bandwidth
         self.latency = latency

@@ -63,17 +63,23 @@ class Topology:
 
     def add_link(self, a: Node, b: Node, bandwidth: float, delay: float,
                  queue_capacity: Optional[int] = None,
-                 name: str = "", queue_factory=None) -> PointToPointLink:
+                 name: str = "", queue_factory=None, trace=None,
+                 loss: float = 0.0, loss_rng=None) -> PointToPointLink:
         """Connect *a* and *b* with a point-to-point link.
 
         ``queue_capacity`` is the per-direction egress buffer in
         packets — this is where the paper's "router buffers" live.
         ``queue_factory(name)`` overrides the drop-tail default with
         another queueing discipline (e.g. :class:`repro.net.red.REDQueue`).
+        ``trace`` (a :class:`repro.net.traces.BandwidthTrace`) makes the
+        link drain along a time-varying profile instead of the static
+        ``bandwidth``; ``loss`` adds seeded stochastic loss drawn from
+        ``loss_rng`` (see :class:`repro.net.link.VariableRateChannel`).
         """
         link = PointToPointLink(self.sim, a, b, bandwidth, delay,
                                 queue_capacity, name=name,
-                                queue_factory=queue_factory)
+                                queue_factory=queue_factory, trace=trace,
+                                loss=loss, loss_rng=loss_rng)
         self.links.append(link)
         self._routes_built = False
         return link

@@ -36,7 +36,8 @@ class Pair:
 
 
 def make_pair(bandwidth: float = kbps(200), delay: float = ms(50),
-              queue_capacity: int = 10) -> Pair:
+              queue_capacity: int = 10, trace=None, loss: float = 0.0,
+              loss_rng=None) -> Pair:
     """Two hosts, two routers, one bottleneck link."""
     sim = Simulator()
     topo = Topology(sim)
@@ -48,7 +49,8 @@ def make_pair(bandwidth: float = kbps(200), delay: float = ms(50),
     topo.add_lan([r2, b])
     bottleneck = topo.add_link(r1, r2, bandwidth=bandwidth, delay=delay,
                                queue_capacity=queue_capacity,
-                               name="bottleneck")
+                               name="bottleneck", trace=trace, loss=loss,
+                               loss_rng=loss_rng)
     topo.build_routes()
     return Pair(sim=sim, topology=topo, a=a, b=b,
                 proto_a=TCPProtocol(a), proto_b=TCPProtocol(b),

@@ -12,6 +12,7 @@ from repro.arena.scenarios import (
     DEFAULT_SCENARIOS,
     QUICK_SCENARIOS,
     SCENARIOS,
+    TIME_VARYING_SCENARIOS,
     available_scenarios,
     get_scenario,
 )
@@ -74,6 +75,34 @@ class TestScenarios:
         for spec in SCENARIOS.values():
             assert spec.bandwidth > 0 and spec.buffers > 0
             assert spec.transfer_bytes > 0 and spec.horizon > 0
+            assert 0.0 <= spec.loss < 1.0
+
+    def test_time_varying_selection(self):
+        assert set(TIME_VARYING_SCENARIOS) <= set(DEFAULT_SCENARIOS)
+        assert not (set(TIME_VARYING_SCENARIOS) & set(QUICK_SCENARIOS))
+        for name in TIME_VARYING_SCENARIOS:
+            assert get_scenario(name).time_varying
+        for name in QUICK_SCENARIOS:
+            assert not get_scenario(name).time_varying
+
+    def test_trace_scenario_nominal_bandwidth_is_cycle_mean(self):
+        # The static `bandwidth` figure on a trace scenario is a label;
+        # keep it honest: within 15% of the built trace's true mean for
+        # deterministic kinds, within the rate envelope for stochastic
+        # ones (a seeded random walk drifts off its anchor).
+        from repro.net.traces import STOCHASTIC_KINDS
+        from repro.sim.rng import RngRegistry
+
+        for name in TIME_VARYING_SCENARIOS:
+            spec = get_scenario(name)
+            if spec.trace is None:
+                continue
+            trace = spec.trace.build(RngRegistry(0).stream("link-trace"))
+            if spec.trace.kind in STOCHASTIC_KINDS:
+                assert trace.min_rate <= spec.bandwidth <= 2 * trace.max_rate
+            else:
+                assert trace.mean_rate == pytest.approx(spec.bandwidth,
+                                                        rel=0.15)
 
 
 # ----------------------------------------------------------------------
@@ -266,6 +295,42 @@ class TestRegistryCompleteness:
         assert metrics["b_completed"] == 1.0
         assert metrics["invariant_violations"] == 0.0
         assert 0.0 < metrics["fairness_index"] <= 1.0
+
+
+# ----------------------------------------------------------------------
+# Time-varying completeness: every roster scheme also survives each
+# trace-driven scenario, solo and 1v1 against Reno, checker live.
+# ----------------------------------------------------------------------
+
+class TestTimeVaryingCompleteness:
+    @pytest.mark.parametrize("scenario", TIME_VARYING_SCENARIOS)
+    @pytest.mark.parametrize("scheme", ROSTER)
+    def test_solo_time_varying(self, scheme, scenario):
+        metrics = run_cell(Cell.make("arena_solo", scheme=scheme,
+                                     scenario=scenario, seed=0),
+                           checks="collect")
+        assert metrics["completed"] == 1.0
+        assert metrics["invariant_violations"] == 0.0
+        assert metrics["throughput_kbps"] > 0
+
+    @pytest.mark.parametrize("scenario", TIME_VARYING_SCENARIOS)
+    @pytest.mark.parametrize("scheme", ROSTER)
+    def test_duel_against_reno_time_varying(self, scheme, scenario):
+        a, b = sorted((scheme, "reno"))
+        metrics = run_cell(Cell.make("arena_duel", a=a, b=b,
+                                     scenario=scenario, seed=0),
+                           checks="collect")
+        assert metrics["a_completed"] == 1.0
+        assert metrics["b_completed"] == 1.0
+        assert metrics["invariant_violations"] == 0.0
+        assert 0.0 < metrics["fairness_index"] <= 1.0
+
+    def test_time_varying_cohort_is_deterministic(self):
+        one = run_cohort(["vegas", "reno"], "wifi", seed=5)
+        two = run_cohort(["vegas", "reno"], "wifi", seed=5)
+        assert [f.throughput_kbps for f in one] \
+            == [f.throughput_kbps for f in two]
+        assert [f.rtt_mean_ms for f in one] == [f.rtt_mean_ms for f in two]
 
 
 # ----------------------------------------------------------------------
