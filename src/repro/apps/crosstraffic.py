@@ -66,13 +66,13 @@ class CrossTrafficSource:
         self._running = True
         if self.steady:
             self._on = True
-            self.sim.schedule(
+            self.sim.schedule_anon(
                 delay + self.rng.expovariate(self.burst_rate / self.packet_size),
                 self._emit)
             return
         # Begin in a random phase of the off period.
-        self.sim.schedule(delay + self.rng.expovariate(1.0 / self.off_mean),
-                          self._burst_start)
+        self.sim.schedule_anon(delay + self.rng.expovariate(1.0 / self.off_mean),
+                               self._burst_start)
 
     def stop(self) -> None:
         self._running = False
@@ -83,14 +83,14 @@ class CrossTrafficSource:
             return
         self._on = True
         duration = self.rng.expovariate(1.0 / self.on_mean)
-        self.sim.schedule(duration, self._burst_end)
+        self.sim.schedule_anon(duration, self._burst_end)
         self._emit()
 
     def _burst_end(self) -> None:
         self._on = False
         if self._running:
-            self.sim.schedule(self.rng.expovariate(1.0 / self.off_mean),
-                              self._burst_start)
+            self.sim.schedule_anon(self.rng.expovariate(1.0 / self.off_mean),
+                                   self._burst_start)
 
     def _emit(self) -> None:
         if not self._on or not self._running:
@@ -102,4 +102,4 @@ class CrossTrafficSource:
         self.bytes_sent += self.packet_size
         # Poisson within the burst: exponential gaps at the burst rate.
         gap = self.rng.expovariate(self.burst_rate / self.packet_size)
-        self.sim.schedule(gap, self._emit)
+        self.sim.schedule_anon(gap, self._emit)

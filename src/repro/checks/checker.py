@@ -315,9 +315,13 @@ class InvariantChecker:
             self._fail("lan-conservation", now, subject=lan.name,
                        detail=f"in_transit went negative ({lan.in_transit})")
         accounted = lan.in_transit + lan.packets_delivered
-        if lan.queue.dequeued != accounted:
+        # Idle-medium sends bypass the attachment queue entirely, so
+        # conservation is over dequeued + bypassed transmissions.
+        entered = lan.queue.dequeued + lan.bypassed
+        if entered != accounted:
             self._fail("lan-conservation", now, subject=lan.name,
-                       detail=f"dequeued {lan.queue.dequeued} != in_transit "
+                       detail=f"dequeued {lan.queue.dequeued} + bypassed "
+                              f"{lan.bypassed} != in_transit "
                               f"{lan.in_transit} + delivered "
                               f"{lan.packets_delivered}")
 

@@ -26,6 +26,7 @@ Usage::
     python -m repro traces --scenario steps --export steps.trace
     python -m repro traces --load steps.trace
     python -m repro bench --rounds 3
+    python -m repro profile table2_background --sort tottime
 
 (``python -m repro.cli ...`` remains an equivalent legacy spelling.)
 
@@ -431,7 +432,20 @@ def _cmd_bench(args) -> int:
         argv.append("--no-timing-gate")
     if args.update_baseline:
         argv.append("--update-baseline")
+    if args.force:
+        argv.append("--force")
+    if args.cells:
+        argv.extend(["--cells", args.cells])
     return bench.main(argv)
+
+
+def _cmd_profile(args) -> int:
+    from repro.perf import profile
+
+    argv = [args.cell, "--sort", args.sort, "--limit", str(args.limit)]
+    if args.out:
+        argv.extend(["--out", args.out])
+    return profile.main(argv)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -609,8 +623,30 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--max-regression", type=float, default=0.25,
                        help="events/sec drop that fails the timing gate")
     bench.add_argument("--update-baseline", action="store_true",
-                       help="write this run as the new baseline")
+                       help="write this run as the new baseline (refused "
+                            "from a dirty tree unless --force)")
+    bench.add_argument("--force", action="store_true",
+                       help="allow --update-baseline from a dirty tree")
+    bench.add_argument("--cells", metavar="A,B,...", default=None,
+                       help="run only these suite cells; the gate then "
+                            "covers just the selection")
     bench.set_defaults(fn=_cmd_bench)
+
+    profile_cmd = sub.add_parser(
+        "profile",
+        help="cProfile one cell (bench name or experiment/k=v/... key) "
+             "and print hotspots plus per-component event counts")
+    profile_cmd.add_argument("cell",
+                             help="bench cell name (table2_background, "
+                                  "many_flows_1000, ...) or full cell key")
+    profile_cmd.add_argument("--sort", choices=("tottime", "cumulative",
+                                                "ncalls"),
+                             default="tottime", help="pstats sort key")
+    profile_cmd.add_argument("--limit", type=int, default=25,
+                             help="rows of profile output")
+    profile_cmd.add_argument("--out", metavar="PATH", default=None,
+                             help="dump raw pstats data to PATH")
+    profile_cmd.set_defaults(fn=_cmd_profile)
 
     parser.set_defaults(_subcommands=tuple(sub.choices))
     return parser

@@ -27,6 +27,7 @@ from __future__ import annotations
 from typing import TYPE_CHECKING, Optional
 
 from repro.tcp import constants as C
+from repro.tcp.flatstate import ConnStateStore
 from repro.trace.records import Kind
 
 if TYPE_CHECKING:  # pragma: no cover
@@ -39,6 +40,13 @@ class CongestionControl:
     Useful on its own as a "dumb" constant-window transport for tests
     and for generating deterministic cross-traffic; all real protocols
     override the event hooks.
+
+    ``cwnd``/``ssthresh`` (and, for Vegas, the CAM epoch accumulators)
+    live in a :class:`~repro.tcp.flatstate.ConnStateStore` slot.  At
+    :meth:`attach` time the controller rebinds onto its connection's
+    store and slot, so the window shares a cache line with the rest of
+    that connection's hot sender state; before attach a private scratch
+    slot keeps the accessors uniform.
     """
 
     name = "fixed"
@@ -46,8 +54,48 @@ class CongestionControl:
     def __init__(self, initial_cwnd_segments: int = 1):
         self.conn: Optional["TCPConnection"] = None
         self._initial_cwnd_segments = initial_cwnd_segments
-        self.cwnd: int = 0          # bytes
-        self.ssthresh: int = 0      # bytes
+        # The store binding happens at attach(); the scratch slot is
+        # only materialised if state is touched before then (standalone
+        # controllers in tests), so the common construct-then-attach
+        # path never builds a throwaway store.
+        self._fs: Optional[ConnStateStore] = None
+        self._fi: int = 0
+
+    def _scratch_store(self) -> ConnStateStore:
+        fs = ConnStateStore()
+        self._fi = fs.alloc()
+        self._fs = fs
+        return fs
+
+    @property
+    def cwnd(self) -> int:
+        """Congestion window, bytes."""
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        return fs.cwnd[self._fi]
+
+    @cwnd.setter
+    def cwnd(self, value: int) -> None:
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        fs.cwnd[self._fi] = int(value)
+
+    @property
+    def ssthresh(self) -> int:
+        """Slow-start threshold, bytes."""
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        return fs.ssthresh[self._fi]
+
+    @ssthresh.setter
+    def ssthresh(self, value: int) -> None:
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        fs.ssthresh[self._fi] = int(value)
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -55,6 +103,14 @@ class CongestionControl:
     def attach(self, conn: "TCPConnection") -> None:
         """Bind to *conn*; called once, before the handshake."""
         self.conn = conn
+        store = getattr(conn, "_st", None)
+        if store is not None:
+            self._fs = store
+            self._fi = conn._slot
+        elif self._fs is None:
+            # A fake connection without flat state (test double):
+            # fall back to a private scratch slot.
+            self._scratch_store()
         self.cwnd = self._initial_cwnd_segments * conn.mss
         self.ssthresh = C.MAX_CWND
 
@@ -111,20 +167,22 @@ class CongestionControl:
 
     def _set_cwnd(self, value: int, now: float) -> None:
         value = int(value)
-        if value != self.cwnd:
-            old = self.cwnd
-            self.cwnd = value
-            self._trace_cwnd(now)
+        old = self._fs.cwnd[self._fi]
+        if value != old:
+            self._fs.cwnd[self._fi] = value
+            if self.conn is not None:
+                self.conn.tracer.record(now, Kind.CWND, value)
             checker = getattr(self.conn, "_checker", None)
             if checker is not None:
                 checker.on_cwnd(self, old, value, now)
 
     def _set_ssthresh(self, value: int, now: float) -> None:
         value = int(value)
-        if value != self.ssthresh:
-            old = self.ssthresh
-            self.ssthresh = value
-            self._trace_ssthresh(now)
+        old = self._fs.ssthresh[self._fi]
+        if value != old:
+            self._fs.ssthresh[self._fi] = value
+            if self.conn is not None:
+                self.conn.tracer.record(now, Kind.SSTHRESH, value)
             checker = getattr(self.conn, "_checker", None)
             if checker is not None:
                 checker.on_ssthresh(self, old, value, now)

@@ -111,19 +111,48 @@ class VegasCC(CongestionControl):
         self.in_recovery = False
         self.last_decrease_time = float("-inf")
         self.acks_after_retx = 0          # §3.1 second bullet counter
-        # Distinguished-segment measurement state (one per RTT).
-        self._cam_end_seq: Optional[int] = None
-        self._cam_sent_time = 0.0
-        self._cam_window = 0
-        self._cam_bytes_base = 0
-        self._cam_cwnd_at_start = 0
-        self._cam_max_flight = 0
-        self._cam_rtt_samples: list = []
+        # Distinguished-segment measurement state (one per RTT) lives
+        # in the flat store slot shared with the connection (columns
+        # cam_end/cam_sent/cam_window/cam_bytes_base/cam_cwnd0/
+        # cam_max_flight/cam_samples); see CongestionControl.attach.
         # Counters for analysis/tests.
         self.cam_decisions = 0
         self.cam_increases = 0
         self.cam_decreases = 0
         self.early_retransmits = 0
+
+    # ------------------------------------------------------------------
+    # CAM accumulator accessors (hot code reads the store directly)
+    # ------------------------------------------------------------------
+    @property
+    def _cam_end_seq(self) -> Optional[int]:
+        """Distinguished segment end for this epoch (``None`` if idle)."""
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        v = fs.cam_end[self._fi]
+        return None if v < 0 else v
+
+    @_cam_end_seq.setter
+    def _cam_end_seq(self, value: Optional[int]) -> None:
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        fs.cam_end[self._fi] = -1 if value is None else value
+
+    @property
+    def _cam_rtt_samples(self) -> list:
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        return fs.cam_samples[self._fi]
+
+    @_cam_rtt_samples.setter
+    def _cam_rtt_samples(self, value: list) -> None:
+        fs = self._fs
+        if fs is None:
+            fs = self._scratch_store()
+        fs.cam_samples[self._fi] = value
 
     # ------------------------------------------------------------------
     # Sending: distinguished-segment selection
@@ -132,46 +161,51 @@ class VegasCC(CongestionControl):
                         is_retransmit: bool, now: float) -> None:
         if length == 0:
             return
+        fs = self._fs
+        i = self._fi
+        cam_end = fs.cam_end[i]
         if is_retransmit:
             # A retransmission overlapping the distinguished segment
             # invalidates the measurement.
-            if (self._cam_end_seq is not None
-                    and seq < self._cam_end_seq <= end_seq):
-                self._cam_end_seq = None
+            if cam_end >= 0 and seq < cam_end <= end_seq:
+                fs.cam_end[i] = -1
             return
-        if self._cam_end_seq is None:
-            self._cam_end_seq = end_seq
-            self._cam_sent_time = now
+        if cam_end < 0:
+            fs.cam_end[i] = end_seq
+            fs.cam_sent[i] = now
             # Expected = WindowSize / BaseRTT with WindowSize "the size
             # of the current congestion window" (§3.2).
-            self._cam_window = self.cwnd
+            cwnd = fs.cwnd[i]
+            fs.cam_window[i] = cwnd
             # Count the distinguished segment itself among the bytes
             # transmitted during its RTT.
-            self._cam_bytes_base = self.conn.stats.bytes_sent_total - length
-            self._cam_cwnd_at_start = self.cwnd
-            self._cam_max_flight = self.conn.flight_size()
-            self._cam_rtt_samples = []
+            fs.cam_bytes_base[i] = self.conn.stats.bytes_sent_total - length
+            fs.cam_cwnd0[i] = cwnd
+            fs.cam_max_flight[i] = self.conn.flight_size()
+            fs.cam_samples[i] = []
         else:
             flight = self.conn.flight_size()
-            if flight > self._cam_max_flight:
-                self._cam_max_flight = flight
+            if flight > fs.cam_max_flight[i]:
+                fs.cam_max_flight[i] = flight
 
     # ------------------------------------------------------------------
     # ACK processing
     # ------------------------------------------------------------------
     def on_new_ack(self, acked_bytes: int, now: float,
                    rtt_sample: Optional[float]) -> None:
+        fs = self._fs
+        i = self._fi
         mss = self.conn.mss
         # Collect per-segment clock samples for the current CAM epoch.
         # A robust summary of them drives the rate comparison: single
         # samples can be inflated by up to 200 ms by delayed ACKs,
         # which at small windows would read as phantom queueing.
-        if rtt_sample is not None and self._cam_end_seq is not None:
-            self._cam_rtt_samples.append(rtt_sample)
+        if rtt_sample is not None and fs.cam_end[i] >= 0:
+            fs.cam_samples[i].append(rtt_sample)
         if self.in_recovery:
             # Recovery ACK (Reno-style deflation after a 3-dup-ack event).
             self.in_recovery = False
-            self._set_cwnd(max(self.ssthresh, 2 * mss), now)
+            self._set_cwnd(max(fs.ssthresh[i], 2 * mss), now)
 
         # §3.1, second bullet: on the first/second non-duplicate ACK
         # after a retransmission, check the next unacked segment's age.
@@ -180,22 +214,24 @@ class VegasCC(CongestionControl):
             self._check_stale_first_unacked(now, path=2)
 
         # Once-per-RTT congestion-avoidance decision.
-        if (self._cam_end_seq is not None
-                and self.conn.snd_una >= self._cam_end_seq):
+        cam_end = fs.cam_end[i]
+        if cam_end >= 0 and self.conn.snd_una >= cam_end:
             self._cam_decision(now)
-            self._cam_end_seq = None
+            fs.cam_end[i] = -1
 
         # Per-ACK window growth applies only in slow start.
         if self.mode == SLOW_START and not self.in_recovery:
-            if self.cwnd >= self.ssthresh:
+            cwnd = fs.cwnd[i]
+            if cwnd >= fs.ssthresh[i]:
                 # Reno's own slow-start exit (relevant after timeouts).
                 self._leave_slow_start(now, trim=False)
             elif (not self.enable_modified_slowstart) or self.ss_grow:
-                self._set_cwnd(min(C.MAX_CWND, self.cwnd + mss), now)
+                self._set_cwnd(min(C.MAX_CWND, cwnd + mss), now)
         elif self.mode == LINEAR and not self.enable_cam:
             # CAM ablated: fall back to Reno congestion avoidance.
+            cwnd = fs.cwnd[i]
             self._set_cwnd(min(C.MAX_CWND,
-                               self.cwnd + max(1, mss * mss // self.cwnd)),
+                               cwnd + max(1, mss * mss // cwnd)),
                            now)
 
     def _leave_slow_start(self, now: float, trim: bool) -> None:
@@ -212,6 +248,8 @@ class VegasCC(CongestionControl):
     # Technique 2: the CAM decision (once per RTT)
     # ------------------------------------------------------------------
     def _cam_decision(self, now: float) -> None:
+        fs = self._fs
+        i = self._fi
         fine = self.conn.fine_rtt
         base_rtt = fine.base_rtt
         # The RTT used for the rate comparison is the *lower median* of
@@ -222,26 +260,27 @@ class VegasCC(CongestionControl):
         # the same reason production Vegas implementations filter their
         # per-ACK samples rather than using any single one.
         rtt = self._epoch_rtt()
+        cam_window = fs.cam_window[i]
         if base_rtt is None or rtt is None or rtt <= 0 \
-                or self._cam_window <= 0:
+                or cam_window <= 0:
             return
         mss = self.conn.mss
         # "A valid comparison of the expected and actual rates" (§3.3)
         # requires the window to have stayed fixed over the
         # measurement.
-        valid = (self.cwnd == self._cam_cwnd_at_start)
+        valid = (fs.cwnd[i] == fs.cam_cwnd0[i])
         # An application-limited flow never fills its window; comparing
         # its Actual against a window-based Expected would shrink the
         # window without any congestion.  Skip such measurements.
-        cwnd_limited = self._cam_max_flight + mss >= self._cam_window
+        cwnd_limited = fs.cam_max_flight[i] + mss >= cam_window
         if not cwnd_limited:
             return
         # Diff computed from the distinguished segment's window and the
         # epoch-minimum RTT sample: Expected - Actual = W/base - W/rtt,
         # i.e. W x (1 - base/rtt) bytes of the connection's own data
         # sitting in router queues.
-        expected = self._cam_window / base_rtt
-        actual = self._cam_window / rtt
+        expected = cam_window / base_rtt
+        actual = cam_window / rtt
         if actual > expected:
             # "Actual > Expected implies that we need to change BaseRTT
             # to the latest sampled RTT."  (With min-tracking BaseRTT
@@ -278,11 +317,11 @@ class VegasCC(CongestionControl):
             return
         if diff_buffers < self.alpha:
             self.cam_increases += 1
-            self._set_cwnd(min(C.MAX_CWND, self.cwnd + mss), now)
+            self._set_cwnd(min(C.MAX_CWND, fs.cwnd[i] + mss), now)
             action = 1
         elif diff_buffers > self.beta:
             self.cam_decreases += 1
-            self._set_cwnd(max(2 * mss, self.cwnd - mss), now)
+            self._set_cwnd(max(2 * mss, fs.cwnd[i] - mss), now)
             action = -1
         else:
             action = 0
@@ -309,7 +348,7 @@ class VegasCC(CongestionControl):
 
     def _epoch_rtt(self) -> Optional[float]:
         """Lower median of the current epoch's RTT samples."""
-        samples = self._cam_rtt_samples
+        samples = self._fs.cam_samples[self._fi]
         if not samples:
             return None
         ordered = sorted(samples)
@@ -380,5 +419,5 @@ class VegasCC(CongestionControl):
         self.ss_grow = True
         self.acks_after_retx = 0
         self.last_decrease_time = now
-        self._cam_end_seq = None
+        self._fs.cam_end[self._fi] = -1
         self.conn.tracer.record(now, Kind.SS_MODE, 1)

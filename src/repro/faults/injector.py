@@ -127,13 +127,13 @@ class ChannelFaults:
             # vanishes.
             self.reorders += 1
             self._held.append(packet)
-            channel.sim.schedule(self.plan.reorder_hold,
+            channel.sim.schedule_anon(self.plan.reorder_hold,
                                  self._timer_release, packet)
             return
         if self.plan.jitter and self.rng.random() < self.plan.jitter:
             self.delay_spikes += 1
             spike = self.rng.uniform(0.0, self.plan.jitter_max)
-            channel.sim.schedule(spike, self._deliver_and_flush, packet)
+            channel.sim.schedule_anon(spike, self._deliver_and_flush, packet)
             return
         self._deliver_and_flush(packet)
 

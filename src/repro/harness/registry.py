@@ -213,6 +213,12 @@ def _telnet_cell(cc: str, seed: int) -> Dict[str, float]:
     }
 
 
+def _many_flows_cell(flows: int, seed: int) -> Dict[str, float]:
+    from repro.experiments.many_flows import many_flows_metrics
+
+    return many_flows_metrics(flows, seed)
+
+
 # Arena matchup cells (see repro.arena): registered as built-in
 # runners so worker processes resolve them by name under any
 # multiprocessing start method, but with *no* fixed grid — their cells
@@ -252,6 +258,7 @@ _RUNNERS: Dict[str, Callable[..., Dict[str, float]]] = {
     "fairness": _fairness_cell,
     "twoway": _twoway_cell,
     "telnet": _telnet_cell,
+    "many_flows": _many_flows_cell,
     "arena_solo": _arena_solo_cell,
     "arena_duel": _arena_duel_cell,
     "arena_mix": _arena_mix_cell,
@@ -380,8 +387,17 @@ def _arena_family(**selection) -> List[Cell]:
     return generate_matrix(**selection)
 
 
+def _many_flows_family(flows=None, seeds=(0,)) -> List[Cell]:
+    from repro.experiments.many_flows import BENCH_FLOW_COUNTS
+
+    counts = BENCH_FLOW_COUNTS if flows is None else tuple(flows)
+    return [Cell.make("many_flows", flows=n, seed=seed)
+            for n in counts for seed in seeds]
+
+
 _FAMILIES: Dict[str, Callable[..., List[Cell]]] = {
     "arena": _arena_family,
+    "many_flows": _many_flows_family,
 }
 
 

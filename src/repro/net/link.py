@@ -20,6 +20,7 @@ from __future__ import annotations
 
 import random
 from collections import deque
+from heapq import heappush as _heappush
 from typing import TYPE_CHECKING, Deque, List, Optional
 
 from repro.checks import runtime as checks_runtime
@@ -85,13 +86,24 @@ class Channel:
         # deliver_now, skipping the faults branch entirely.  The
         # queue's offer/poll are looked up per call on purpose — they
         # are a seam tests patch to inject targeted drops.
-        self._schedule = sim.schedule
+        self._schedule = sim.schedule_anon
         self._deliver_fn = self.deliver_now if self.faults is None else self._deliver
+        # Prebound completion handle: one bound-method object reused by
+        # every transmission instead of a fresh one per schedule call.
+        self._tx_done_b = self._tx_done
+        # The empty-queue fast exit in _tx_done skips the final poll()
+        # round-trip — safe only for the stock poll, which has no
+        # empty-queue side effects.  Subclasses may (REDQueue stamps
+        # its idle-aging clock on an empty poll), so they keep the
+        # exact historical poll sequence.
+        self._plain_poll = type(queue).poll is DropTailQueue.poll
 
-    def send(self, packet: Packet) -> bool:
+    def send(self, packet: Packet, _next_node: "Node" = None) -> bool:
         """Offer *packet* to the egress queue; start draining if idle.
 
-        Returns ``False`` when the queue dropped the packet.
+        Returns ``False`` when the queue dropped the packet.  The
+        unused second parameter lets a forwarding entry bind this
+        method as its ``transmit`` directly (ports pass the next hop).
         """
         accepted = self.queue.offer(packet, self.sim.now)
         if accepted and not self._busy:
@@ -99,19 +111,61 @@ class Channel:
         return accepted
 
     def _transmit_next(self) -> None:
-        packet = self.queue.poll(self.sim.now)
+        sim = self.sim
+        packet = self.queue.poll(sim.now)
         if packet is None:
             self._busy = False
             return
         self._busy = True
         self.in_transit += 1
-        self._schedule(packet.size / self.bandwidth, self._tx_done, packet)
+        # The two hottest schedule sites in the simulator inline the
+        # anonymous-event push (same (time, seq) bookkeeping as
+        # Simulator.schedule_anon, so ordering is bit-identical); the
+        # slow path keeps the engine call so its heap stays Event-typed.
+        # With no parked buckets (_far_count == 0) a heap push is
+        # always order-safe (_far_bound is inf), so the engine's
+        # wheel-activation threshold is deliberately not re-checked
+        # here: parking only ever *starts* at the engine's own push
+        # sites, and these near-future link events would not park.
+        if sim._fast and not sim._far_count:
+            seq = sim._seq
+            sim._seq = seq + 1
+            sim._live += 1
+            time = sim.now + packet.size / self.bandwidth
+            if time > sim._heap_max:
+                sim._heap_max = time
+            _heappush(sim._heap, (time, seq, self._tx_done_b, (packet,)))
+        elif sim._fast:
+            # Calendar wheel active: route through the engine so the
+            # parking decision stays in one place.
+            sim.schedule_anon(packet.size / self.bandwidth,
+                              self._tx_done_b, packet)
+        else:
+            self._schedule(packet.size / self.bandwidth, self._tx_done, packet)
 
     def _tx_done(self, packet: Packet) -> None:
         # The wire is free as soon as the last bit leaves; the packet
         # arrives one propagation delay later.
-        self._schedule(self.delay, self._deliver_fn, packet)
-        self._transmit_next()
+        sim = self.sim
+        if sim._fast and not sim._far_count:
+            seq = sim._seq
+            sim._seq = seq + 1
+            sim._live += 1
+            time = sim.now + self.delay
+            if time > sim._heap_max:
+                sim._heap_max = time
+            _heappush(sim._heap, (time, seq, self._deliver_fn, (packet,)))
+        elif sim._fast:
+            sim.schedule_anon(self.delay, self._deliver_fn, packet)
+        else:
+            self._schedule(self.delay, self._deliver_fn, packet)
+        # Empty-queue fast exit: skip the poll round-trip.  Tests patch
+        # offer, never poll, so reading the deque directly makes the
+        # same decision poll() would.
+        if self.queue._items or not self._plain_poll:
+            self._transmit_next()
+        else:
+            self._busy = False
 
     def _deliver(self, packet: Packet) -> None:
         if self.faults is not None:
@@ -227,9 +281,10 @@ class _P2PPort(Port):
     def __init__(self, channel: Channel, neighbor: "Node"):
         self.channel = channel
         self.neighbor = neighbor
-
-    def transmit(self, packet: Packet, next_node: "Node") -> bool:
-        return self.channel.send(packet)
+        # Same trick as _LanPort: Channel.send tolerates the next-hop
+        # argument, so the forwarding entry calls it without paying a
+        # wrapper frame on every forwarded packet.
+        self.transmit = channel.send
 
     def neighbors(self) -> List["Node"]:
         return [self.neighbor]
@@ -340,12 +395,18 @@ class EthernetLan:
         self.bytes_delivered = 0
         self.packets_delivered = 0
         self.in_transit = 0
+        #: Packets that began serialising on an idle medium without
+        #: touching the attachment queue (the idle-bypass in ``send``).
+        #: The conservation audit adds this to ``queue.dequeued``.
+        self.bypassed = 0
         checker = checks_runtime.active()
         if checker is not None:
             checker.register_lan(self)
         # Same scheduler binding as Channel; queue methods stay late-
         # bound (they are a patch seam for targeted-drop tests).
-        self._schedule = sim.schedule
+        self._schedule = sim.schedule_anon
+        self._tx_done_b = self._tx_done
+        self._deliver_b = self._deliver
 
     def attach(self, node: "Node") -> None:
         """Connect *node* to this LAN."""
@@ -359,28 +420,84 @@ class EthernetLan:
         if dst_node not in self._node_set:
             raise ConfigurationError(
                 f"{dst_node.name} is not attached to {self.name}")
+        sim = self.sim
+        if not self._busy:
+            # Idle medium: the queue round-trip (offer, then the
+            # immediate poll in _transmit_next) is pure bookkeeping —
+            # serialise directly.  The medium queue only ever holds
+            # packets that arrive while the wire is busy.
+            self._busy = True
+            self.in_transit += 1
+            self.bypassed += 1
+            if sim._fast and not sim._far_count:
+                seq = sim._seq
+                sim._seq = seq + 1
+                sim._live += 1
+                time = sim.now + packet.size / self.bandwidth
+                if time > sim._heap_max:
+                    sim._heap_max = time
+                _heappush(sim._heap,
+                          (time, seq, self._tx_done_b, (packet, dst_node)))
+            elif sim._fast:
+                sim.schedule_anon(packet.size / self.bandwidth,
+                                  self._tx_done_b, packet, dst_node)
+            else:
+                self._schedule(packet.size / self.bandwidth, self._tx_done,
+                               packet, dst_node)
+            return True
         # The dst FIFO mirrors the medium queue entry for entry.  The
         # medium is unbounded so offers normally always succeed, but a
         # patched/lossy queue must not desynchronise the two.
-        if self.queue.offer(packet, self.sim.now):
+        if self.queue.offer(packet, sim.now):
             self._dsts.append(dst_node)
-            if not self._busy:
-                self._transmit_next()
         return True
 
     def _transmit_next(self) -> None:
-        packet = self.queue.poll(self.sim.now)
+        sim = self.sim
+        packet = self.queue.poll(sim.now)
         if packet is None:
             self._busy = False
             return
         self._busy = True
         self.in_transit += 1
-        self._schedule(packet.size / self.bandwidth, self._tx_done,
-                       packet, self._dsts.popleft())
+        # Inline anonymous-event push; see Channel._transmit_next.
+        if sim._fast and not sim._far_count:
+            seq = sim._seq
+            sim._seq = seq + 1
+            sim._live += 1
+            time = sim.now + packet.size / self.bandwidth
+            if time > sim._heap_max:
+                sim._heap_max = time
+            _heappush(sim._heap,
+                      (time, seq, self._tx_done_b,
+                       (packet, self._dsts.popleft())))
+        elif sim._fast:
+            sim.schedule_anon(packet.size / self.bandwidth,
+                              self._tx_done_b, packet, self._dsts.popleft())
+        else:
+            self._schedule(packet.size / self.bandwidth, self._tx_done,
+                           packet, self._dsts.popleft())
 
     def _tx_done(self, packet: Packet, dst: "Node") -> None:
-        self._schedule(self.latency, self._deliver, packet, dst)
-        self._transmit_next()
+        sim = self.sim
+        if sim._fast and not sim._far_count:
+            seq = sim._seq
+            sim._seq = seq + 1
+            sim._live += 1
+            time = sim.now + self.latency
+            if time > sim._heap_max:
+                sim._heap_max = time
+            _heappush(sim._heap, (time, seq, self._deliver_b, (packet, dst)))
+        elif sim._fast:
+            sim.schedule_anon(self.latency, self._deliver_b, packet, dst)
+        else:
+            self._schedule(self.latency, self._deliver, packet, dst)
+        # The dst FIFO is in lockstep with the medium queue, so an
+        # empty _dsts means nothing is queued: skip the poll call.
+        if self._dsts:
+            self._transmit_next()
+        else:
+            self._busy = False
 
     def _deliver(self, packet: Packet, dst: "Node") -> None:
         self.in_transit -= 1

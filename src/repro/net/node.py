@@ -82,7 +82,7 @@ class Host(Node):
         self.bytes_sent += packet.size
         if packet.dst == self.name:
             # Loopback: deliver immediately without touching the wire.
-            self.sim.schedule(0.0, self.receive, packet)
+            self.sim.schedule_anon(0.0, self.receive, packet)
             return True
         return self.forward(packet)
 

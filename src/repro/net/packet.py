@@ -43,7 +43,7 @@ class Packet:
         self.src = src
         self.dst = dst
         self.payload = payload
-        self.size = int(size)
+        self.size = size if type(size) is int else int(size)
         self.uid = uid if uid is not None else next(_uid_counter)
         self.created_at = created_at
         self.ecn_capable = ecn_capable

@@ -30,7 +30,9 @@ from __future__ import annotations
 import argparse
 import json
 import statistics
+import subprocess
 import sys
+import time
 from typing import Any, Dict, List, Optional, Sequence
 
 from repro.errors import ReproError
@@ -63,6 +65,17 @@ def bench_suite() -> List[Dict[str, Any]]:
         {"name": "figure6_checked",
          "cell": Cell.make("figure6", seed=0),
          "checks": "raise"},
+        # Engine-scaling family: hundreds of concurrent tcplib
+        # conversations (see repro.experiments.many_flows).  The 500
+        # and 1000-flow points exercise the far-horizon calendar
+        # scheduler; 100 stays below its threshold and covers the
+        # plain-heap fallback.
+        {"name": "many_flows_100",
+         "cell": Cell.make("many_flows", flows=100, seed=0)},
+        {"name": "many_flows_500",
+         "cell": Cell.make("many_flows", flows=500, seed=0)},
+        {"name": "many_flows_1000",
+         "cell": Cell.make("many_flows", flows=1000, seed=0)},
     ]
 
 
@@ -70,52 +83,89 @@ def run_bench_cell(descriptor: Dict[str, Any],
                    rounds: int = 3) -> Dict[str, Any]:
     """Run one suite cell *rounds* times and aggregate its counters.
 
-    Raises :class:`ReproError` if the deterministic counters (events,
-    peak heap) disagree between rounds — a bug in the engine's
-    optimizations would surface here first.
+    One probed warmup round records the deterministic counters
+    (events, peak heap) and primes caches; the timed rounds then run
+    the *production* dispatch loop — no probe attached, so the numbers
+    measure the engine users get, not the instrumented one.  Raises
+    :class:`ReproError` if any timed round's event count disagrees
+    with the warmup — a bug in the engine's optimizations would
+    surface here first.
     """
     from repro.harness.registry import run_cell
     from repro.perf import runtime as perf_runtime
     from repro.perf.counters import PerfProbe
+    from repro.sim.engine import last_simulator
+
+    kwargs = dict(checks=descriptor.get("checks", False),
+                  faults=descriptor.get("faults"))
+    probe = PerfProbe()
+    perf_runtime.activate(probe)
+    try:
+        run_cell(descriptor["cell"], **kwargs)
+    finally:
+        perf_runtime.deactivate()
+    ref_events = last_simulator().events_processed
 
     walls: List[float] = []
-    events: List[int] = []
-    peaks: List[int] = []
+    cpus: List[float] = []
     for _ in range(rounds):
-        probe = PerfProbe()
-        perf_runtime.activate(probe)
-        try:
-            with probe.phase("run"):
-                run_cell(descriptor["cell"],
-                         checks=descriptor.get("checks", False),
-                         faults=descriptor.get("faults"))
-        finally:
-            perf_runtime.deactivate()
-        walls.append(probe.phases["run"])
-        events.append(probe.events)
-        peaks.append(probe.peak_heap)
-    if len(set(events)) != 1 or len(set(peaks)) != 1:
-        raise ReproError(
-            f"{descriptor['name']}: nondeterministic counters across rounds "
-            f"(events {events}, peak_heap {peaks})")
+        cpu0 = time.process_time()
+        t0 = time.perf_counter()
+        run_cell(descriptor["cell"], **kwargs)
+        cpus.append(time.process_time() - cpu0)
+        walls.append(time.perf_counter() - t0)
+        got = last_simulator().events_processed
+        if got != ref_events:
+            raise ReproError(
+                f"{descriptor['name']}: nondeterministic event count "
+                f"across rounds ({got} != {ref_events})")
     wall = statistics.median(walls)
+    cpu = statistics.median(cpus)
     return {
-        "events_per_sec": round(events[0] / wall, 1) if wall > 0 else 0.0,
+        "events_per_sec": round(ref_events / wall, 1) if wall > 0 else 0.0,
+        # CPU-time twin of the wall gate: process_time is immune to
+        # scheduler noise on shared runners, so A/B comparisons should
+        # prefer it (the comparator does when both sides carry it).
+        "events_per_sec_cpu": round(ref_events / cpu, 1) if cpu > 0 else 0.0,
         "wall_s": round(wall, 6),
         "wall_s_min": round(min(walls), 6),
-        "events": events[0],
-        "peak_heap": peaks[0],
+        "cpu_s": round(cpu, 6),
+        "cpu_s_min": round(min(cpus), 6),
+        "events": ref_events,
+        "peak_heap": probe.peak_heap,
     }
 
 
+def select_cells(names: Optional[Sequence[str]]) -> List[Dict[str, Any]]:
+    """Suite descriptors restricted to *names* (``None`` = all).
+
+    Order follows the suite, not the selection, so artifacts stay
+    stable however the CLI spells the subset.  Unknown names raise —
+    a typo in a CI slice must fail loudly, not silently shrink the
+    gate.
+    """
+    suite = bench_suite()
+    if names is None:
+        return suite
+    known = {descriptor["name"] for descriptor in suite}
+    unknown = [name for name in names if name not in known]
+    if unknown:
+        raise ReproError(
+            f"unknown bench cell(s): {', '.join(unknown)}; "
+            f"known: {', '.join(sorted(known))}")
+    wanted = set(names)
+    return [d for d in suite if d["name"] in wanted]
+
+
 def run_suite(rounds: int = 3,
-              progress=None) -> Dict[str, Any]:
+              progress=None,
+              cells_filter: Optional[Sequence[str]] = None) -> Dict[str, Any]:
     """Run every suite cell plus the micro section; build the document."""
     from repro.perf.micro import vegas_overhead
     from repro.sim.engine import slow_path_requested
 
     cells: Dict[str, Any] = {}
-    for descriptor in bench_suite():
+    for descriptor in select_cells(cells_filter):
         cells[descriptor["name"]] = run_bench_cell(descriptor, rounds=rounds)
         if progress is not None:
             result = cells[descriptor["name"]]
@@ -180,15 +230,42 @@ def compare(current: Dict[str, Any], baseline: Dict[str, Any],
                     f"{name}: {metric} = {got.get(metric)}, baseline "
                     f"{want.get(metric)} (must match exactly)")
         if timing:
-            want_rate = want.get("events_per_sec", 0.0)
-            got_rate = got.get("events_per_sec", 0.0)
+            # Prefer the CPU-time A/B when both documents carry it:
+            # process_time ignores co-tenant noise, so the gate
+            # measures the engine, not the runner.  Wall-clock is the
+            # fallback for baselines predating the cpu fields.
+            metric = "events_per_sec_cpu"
+            want_rate = want.get(metric, 0.0)
+            got_rate = got.get(metric, 0.0)
+            if not (want_rate > 0 and got_rate > 0):
+                metric = "events_per_sec"
+                want_rate = want.get(metric, 0.0)
+                got_rate = got.get(metric, 0.0)
             if want_rate > 0 and got_rate < want_rate * (1.0 - max_regression):
                 problems.append(
-                    f"{name}: events_per_sec {got_rate:,.0f} is "
+                    f"{name}: {metric} {got_rate:,.0f} is "
                     f"{(1 - got_rate / want_rate) * 100:.0f}% below "
                     f"baseline {want_rate:,.0f} "
                     f"(gate: {max_regression * 100:.0f}%)")
     return problems
+
+
+def dirty_tracked_files() -> Optional[List[str]]:
+    """Tracked files with uncommitted changes, or ``None`` outside git.
+
+    The baseline must describe *committed* engine code — a baseline
+    captured from a dirty tree pins numbers nobody can reproduce from
+    the repository.  Untracked files are ignored: scratch artifacts
+    (including a fresh ``BENCH_engine.json``) don't change what the
+    suite measured.
+    """
+    try:
+        out = subprocess.run(
+            ["git", "status", "--porcelain", "--untracked-files=no"],
+            capture_output=True, text=True, timeout=30, check=True)
+    except (OSError, subprocess.SubprocessError):
+        return None
+    return [line[3:] for line in out.stdout.splitlines() if line.strip()]
 
 
 def main(argv: Optional[Sequence[str]] = None) -> int:
@@ -215,16 +292,46 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
                              "(default 0.25)")
     parser.add_argument("--update-baseline", action="store_true",
                         help="write the run to the baseline path instead of "
-                             "comparing against it")
+                             "comparing against it (refused from a dirty "
+                             "working tree unless --force is given)")
+    parser.add_argument("--force", action="store_true",
+                        help="allow --update-baseline despite uncommitted "
+                             "changes to tracked files")
+    parser.add_argument("--cells", metavar="A,B,...", default=None,
+                        help="run only these suite cells (comma-separated); "
+                             "the baseline gate then covers just the "
+                             "selection — used by CI to keep the heavy "
+                             "many-flows points out of the PR loop")
     args = parser.parse_args(argv)
     if args.rounds < 1:
         print(f"error: --rounds must be >= 1, got {args.rounds}",
               file=sys.stderr)
         return 2
+    cells_filter = None
+    if args.cells:
+        cells_filter = [name.strip() for name in args.cells.split(",")
+                        if name.strip()]
+    if args.update_baseline and cells_filter is not None:
+        print("error: --update-baseline needs the full suite; drop --cells",
+              file=sys.stderr)
+        return 2
+    if args.update_baseline and not args.force:
+        dirty = dirty_tracked_files()
+        if dirty:
+            print("error: refusing --update-baseline: working tree has "
+                  "uncommitted changes to tracked files:", file=sys.stderr)
+            for path in dirty[:10]:
+                print(f"  {path}", file=sys.stderr)
+            if len(dirty) > 10:
+                print(f"  ... and {len(dirty) - 10} more", file=sys.stderr)
+            print("hint: commit first, or pass --force to pin a baseline "
+                  "from uncommitted code", file=sys.stderr)
+            return 2
 
     try:
         doc = run_suite(rounds=args.rounds,
-                        progress=lambda line: print(line, file=sys.stderr))
+                        progress=lambda line: print(line, file=sys.stderr),
+                        cells_filter=cells_filter)
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
@@ -245,6 +352,13 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         print("hint: create one with `python -m repro bench "
               "--update-baseline`", file=sys.stderr)
         return 2
+    if cells_filter is not None:
+        # A sliced run gates only the cells it measured; the cells it
+        # skipped would otherwise all fail as "missing".
+        baseline = dict(baseline)
+        baseline["cells"] = {name: value
+                             for name, value in baseline["cells"].items()
+                             if name in set(cells_filter)}
     problems = compare(doc, baseline,
                        max_regression=args.max_regression,
                        timing=not args.no_timing_gate)

@@ -10,11 +10,19 @@ None`` test per event when off).  While attached it records:
   which component (link transmit, timer tick, TCP delivery, ...) the
   engine spent its dispatches on;
 * ``phases`` — named wall-clock spans measured with :meth:`phase`;
+* ``cpu_phases`` — the same spans in process CPU seconds, the noise-
+  immune basis the bench comparator gates on;
 * ``tracer_records`` — record counts of any tracer handed to
   :meth:`note_tracer`.
 
-Everything except the wall-clock phases is a pure function of the
+Everything except the clock phases is a pure function of the
 simulation, so probe counters can participate in determinism gates.
+
+``on_event`` sits on the engine's per-event dispatch path, so it keys
+the raw histogram by the callback object itself (bound methods hash
+and compare by ``(__self__, __func__)`` at C speed, so per-schedule
+method objects aggregate correctly) and defers the ``__qualname__``
+resolution to :attr:`component_counts`, off the hot path.
 """
 
 from __future__ import annotations
@@ -24,17 +32,25 @@ from contextlib import contextmanager
 from typing import Any, Dict, List
 
 
+def _component_key(fn) -> str:
+    """The stable reporting key for a callback: qualname or repr."""
+    return getattr(fn, "__qualname__", None) or repr(fn)
+
+
 class PerfProbe:
     """Counters for one profiled run; see the module docstring."""
 
-    __slots__ = ("events", "peak_heap", "component_counts", "phases",
-                 "tracer_records", "_sims")
+    __slots__ = ("events", "peak_heap", "_raw_counts", "phases",
+                 "cpu_phases", "tracer_records", "_sims")
 
     def __init__(self) -> None:
         self.events = 0
         self.peak_heap = 0
-        self.component_counts: Dict[str, int] = {}
+        # Callback object -> count.  Keys are kept alive until the
+        # probe is dropped; resolved to qualnames lazily.
+        self._raw_counts: Dict[Any, int] = {}
         self.phases: Dict[str, float] = {}
+        self.cpu_phases: Dict[str, float] = {}
         self.tracer_records: Dict[str, int] = {}
         self._sims: List[Any] = []
 
@@ -47,20 +63,38 @@ class PerfProbe:
         self.events += 1
         if heap_len > self.peak_heap:
             self.peak_heap = heap_len
-        key = getattr(fn, "__qualname__", None) or repr(fn)
-        counts = self.component_counts
-        counts[key] = counts.get(key, 0) + 1
+        counts = self._raw_counts
+        try:
+            counts[fn] += 1
+        except KeyError:
+            counts[fn] = 1
+        except TypeError:
+            # Unhashable callable: fall back to its reporting key.
+            key = _component_key(fn)
+            counts[key] = counts.get(key, 0) + 1
+
+    @property
+    def component_counts(self) -> Dict[str, int]:
+        """Events per callback ``__qualname__`` (or ``repr``)."""
+        merged: Dict[str, int] = {}
+        for fn, n in self._raw_counts.items():
+            key = fn if isinstance(fn, str) else _component_key(fn)
+            merged[key] = merged.get(key, 0) + n
+        return merged
 
     # -- manual instrumentation ----------------------------------------
     @contextmanager
     def phase(self, name: str):
-        """Accumulate the wall-clock time of a ``with`` block."""
+        """Accumulate the wall-clock and CPU time of a ``with`` block."""
         start = time.perf_counter()
+        cpu_start = time.process_time()
         try:
             yield self
         finally:
             self.phases[name] = (self.phases.get(name, 0.0)
                                  + time.perf_counter() - start)
+            self.cpu_phases[name] = (self.cpu_phases.get(name, 0.0)
+                                     + time.process_time() - cpu_start)
 
     def note_tracer(self, tracer) -> None:
         """Record the current size of *tracer* under its name."""
@@ -85,10 +119,12 @@ class PerfProbe:
             "peak_heap": self.peak_heap,
             "component_counts": dict(sorted(self.component_counts.items())),
             "phases": {k: round(v, 6) for k, v in sorted(self.phases.items())},
+            "cpu_phases": {k: round(v, 6)
+                           for k, v in sorted(self.cpu_phases.items())},
             "tracer_records": dict(sorted(self.tracer_records.items())),
         }
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (f"PerfProbe(events={self.events}, "
                 f"peak_heap={self.peak_heap}, "
-                f"components={len(self.component_counts)})")
+                f"components={len(self._raw_counts)})")

@@ -35,6 +35,37 @@ a :class:`Simulator` to get an object heap ordered by
 ``Event.__lt__`` with a fresh allocation per event.  The determinism
 suite runs the same cell on both paths and asserts identical results.
 
+Far-horizon calendar overflow
+-----------------------------
+
+A binary heap is the right structure for the dense near-term event
+population (packet transmissions, deliveries), but thousand-flow runs
+also carry thousands of *far* events — conversation start times and
+think-time timers seconds in the future — and every one of them
+inflates each ``heappush``/``heappop`` along the way.  Above a
+live-event threshold the fast path therefore parks far events in
+calendar buckets (one unsorted list per ``_wheel_width``-second
+epoch) and only heapifies a bucket when the heap drains down to it:
+O(1) insertion for the far population, and the heap stays sized to
+the near-term burst.
+
+Ordering stays bit-identical to the pure heap by construction, via
+two complementary rules.  An entry may *start* a bucket ``e`` only
+when ``e`` lies strictly beyond both the currently loaded epoch and
+``_heap_max`` — the largest timestamp ever pushed onto the heap since
+it last drained — so every heap entry sorts before every parked
+entry.  And once any bucket is populated, every new event at or past
+the lowest nonempty bucket's boundary (``_far_bound``) *must* park
+rather than enter the heap, so the heap can never leapfrog a parked
+entry.  Buckets are merged back through ``heapify``, where ``(time,
+seq)`` uniqueness restores the exact global order.  Below the
+threshold (every quick-sweep cell) no event is ever parked and the
+engine is the plain tuple heap.
+``REPRO_WHEEL_THRESHOLD``/``REPRO_WHEEL_WIDTH`` override the
+activation point and bucket width; the property suite forces the
+threshold to zero to cross-check dispatch order against the slow
+path.
+
 Event-handle contract: an :class:`Event` returned by ``schedule`` is
 only a valid handle until it fires.  Cancelling after the callback ran
 is a safe no-op, but holders that may outlive their event must null
@@ -45,6 +76,7 @@ because a fired event's object may be recycled for a later
 
 from __future__ import annotations
 
+import gc
 import heapq
 import os
 from typing import Any, Callable, List, Optional
@@ -68,6 +100,31 @@ _POOL_MAX = 4096
 
 #: Environment variable selecting the seed-equivalent slow path.
 SLOWPATH_ENV = "REPRO_ENGINE_SLOWPATH"
+
+#: Live-event count above which far events overflow into calendar
+#: buckets.  Small cells (the whole quick sweep) never cross this, so
+#: their scheduling is byte-for-byte the plain tuple heap.
+WHEEL_THRESHOLD_ENV = "REPRO_WHEEL_THRESHOLD"
+_DEFAULT_WHEEL_THRESHOLD = 256
+
+#: Calendar bucket width in simulated seconds.  Near events (within
+#: the current epoch or below ``_heap_max``) always go to the heap,
+#: so the width only tunes how coarsely the far population is binned.
+WHEEL_WIDTH_ENV = "REPRO_WHEEL_WIDTH"
+_DEFAULT_WHEEL_WIDTH = 1.0
+
+
+def _wheel_threshold() -> int:
+    raw = os.environ.get(WHEEL_THRESHOLD_ENV, "")
+    return int(raw) if raw else _DEFAULT_WHEEL_THRESHOLD
+
+
+def _wheel_width() -> float:
+    raw = os.environ.get(WHEEL_WIDTH_ENV, "")
+    width = float(raw) if raw else _DEFAULT_WHEEL_WIDTH
+    if width <= 0:
+        raise SimulationError(f"{WHEEL_WIDTH_ENV} must be positive")
+    return width
 
 
 def slow_path_requested() -> bool:
@@ -155,6 +212,19 @@ class Simulator:
         self._running = False
         self._fast = not slow_path_requested()
         self._pool: List[Event] = []
+        # Far-horizon calendar overflow (fast path only; see the
+        # module docstring).  ``_far`` maps epoch index -> unsorted
+        # list of heap entries; ``_heap_max`` is the largest timestamp
+        # pushed onto the heap since it last drained, the safety bound
+        # that keeps parked entries strictly after every heap entry.
+        self._far: dict = {}
+        self._far_count: int = 0
+        self._epoch: int = 0
+        self._heap_max: float = 0.0
+        self._far_bound: float = float("inf")
+        self._far_peak: int = 0
+        self._wheel_threshold: int = _wheel_threshold()
+        self._wheel_width: float = _wheel_width()
         # Bound at construction so the run loop pays one attribute
         # test when checking/profiling is off (see repro.checks.runtime
         # and repro.perf.runtime).
@@ -208,11 +278,70 @@ class Simulator:
                 event._sim = self
             else:
                 event = Event(time, seq, fn, args, sim=self)
+            if self._far_count or len(self._heap) > self._wheel_threshold:
+                width = self._wheel_width
+                epoch = int(time / width)
+                if (time >= self._far_bound
+                        or (epoch > self._epoch
+                            and epoch * width > self._heap_max)):
+                    self._far.setdefault(epoch, []).append((time, seq, event))
+                    count = self._far_count + 1
+                    self._far_count = count
+                    if count > self._far_peak:
+                        self._far_peak = count
+                    bound = epoch * width
+                    if bound < self._far_bound:
+                        self._far_bound = bound
+                    return event
+            if time > self._heap_max:
+                self._heap_max = time
             _heappush(self._heap, (time, seq, event))
         else:
             event = Event(time, seq, fn, args, sim=self)
             _heappush(self._heap, event)
         return event
+
+    def schedule_anon(self, delay: float, fn: Callable[..., Any],
+                      *args: Any) -> None:
+        """Schedule *fn(*args)* with no handle (not cancellable).
+
+        The fire-and-forget variant of :meth:`schedule` for callers
+        that drop the returned handle — packet deliveries, transmission
+        completions, one-shot application timers.  The fast path pushes
+        a bare ``(time, seq, fn, args)`` tuple: no :class:`Event`
+        object, no free-list churn, and none of the handle-neutralising
+        stores on dispatch.  Ordering is the same ``(time, seq)`` as
+        handled events, so the two kinds interleave bit-identically
+        with how :meth:`schedule` would have ordered them.
+        """
+        if delay < 0:
+            raise SimulationError(f"cannot schedule event {delay}s in the past")
+        time = self.now + delay
+        seq = self._seq
+        self._seq = seq + 1
+        self._live += 1
+        if self._fast:
+            if self._far_count or len(self._heap) > self._wheel_threshold:
+                width = self._wheel_width
+                epoch = int(time / width)
+                if (time >= self._far_bound
+                        or (epoch > self._epoch
+                            and epoch * width > self._heap_max)):
+                    self._far.setdefault(epoch, []).append(
+                        (time, seq, fn, args))
+                    count = self._far_count + 1
+                    self._far_count = count
+                    if count > self._far_peak:
+                        self._far_peak = count
+                    bound = epoch * width
+                    if bound < self._far_bound:
+                        self._far_bound = bound
+                    return
+            if time > self._heap_max:
+                self._heap_max = time
+            _heappush(self._heap, (time, seq, fn, args))
+        else:
+            _heappush(self._heap, Event(time, seq, fn, args, sim=self))
 
     def schedule_at(self, time: float, fn: Callable[..., Any], *args: Any) -> Event:
         """Schedule *fn(*args)* at absolute simulated time *time*."""
@@ -238,11 +367,52 @@ class Simulator:
                 event._sim = self
             else:
                 event = Event(time, seq, fn, args, sim=self)
+            if self._far_count or len(self._heap) > self._wheel_threshold:
+                width = self._wheel_width
+                epoch = int(time / width)
+                if (time >= self._far_bound
+                        or (epoch > self._epoch
+                            and epoch * width > self._heap_max)):
+                    self._far.setdefault(epoch, []).append((time, seq, event))
+                    count = self._far_count + 1
+                    self._far_count = count
+                    if count > self._far_peak:
+                        self._far_peak = count
+                    bound = epoch * width
+                    if bound < self._far_bound:
+                        self._far_bound = bound
+                    return event
+            if time > self._heap_max:
+                self._heap_max = time
             _heappush(self._heap, (time, seq, event))
         else:
             event = Event(time, seq, fn, args, sim=self)
             _heappush(self._heap, event)
         return event
+
+    def _advance_epoch(self) -> bool:
+        """Load the earliest calendar bucket into the (empty) heap.
+
+        Returns False when no far events remain.  Entries are merged
+        with ``heapify``; ``(time, seq)`` uniqueness makes the merged
+        order exactly what a single global heap would have produced.
+        ``_heap_max`` conservatively becomes the loaded epoch's upper
+        boundary, so subsequent parking decisions stay safe.
+        """
+        far = self._far
+        if not far:
+            return False
+        epoch = min(far)
+        entries = far.pop(epoch)
+        self._far_count -= len(entries)
+        heap = self._heap
+        heap.extend(entries)
+        heapq.heapify(heap)
+        self._epoch = epoch
+        self._heap_max = (epoch + 1) * self._wheel_width
+        self._far_bound = (min(far) * self._wheel_width if far
+                           else float("inf"))
+        return True
 
     def _recycle(self, event: Event) -> None:
         # Neutralise the handle before pooling: a late cancel() on a
@@ -273,6 +443,15 @@ class Simulator:
         if self._running:
             raise SimulationError("Simulator.run() is not reentrant")
         self._running = True
+        # Dispatch allocates heavily (heap tuples, packets, segments)
+        # but almost everything dies by refcount; suspending the
+        # cyclic collector for the duration avoids generation-0 scans
+        # every ~700 allocations.  Cycles made during a run (topology,
+        # connections) are long-lived anyway and are swept once the
+        # collector resumes.
+        gc_was_enabled = gc.isenabled()
+        if gc_was_enabled:
+            gc.disable()
         try:
             if self._fast:
                 processed = self._run_fast(until, max_events)
@@ -285,6 +464,8 @@ class Simulator:
                 self.now = until
         finally:
             self._running = False
+            if gc_was_enabled:
+                gc.enable()
         if self.checker is not None:
             self.checker.on_run_end(self)
         if self.watchdog is not None:
@@ -296,19 +477,61 @@ class Simulator:
     def _run_fast(self, until: Optional[float],
                   max_events: Optional[int]) -> int:
         """Tuple-heap dispatch loop with hoisted lookups."""
-        heap = self._heap
-        heappop = heapq.heappop
         checker = self.checker
         perf = self.perf
         watchdog = self.watchdog
         obs = self.obs
+        # Single cached test: with no probe/checker/watchdog/gauges
+        # attached (the overwhelmingly common case) dispatch runs the
+        # hook-free loop, paying zero per-event hook checks.
+        if checker is None and watchdog is None and obs is None:
+            if perf is None:
+                return self._run_fast_bare(until, max_events)
+            # Probe-only (the bench protocol): a dedicated loop with
+            # the probe hook hoisted and the bookkeeping counters
+            # batched, so the profiled number reflects the engine
+            # rather than per-event hook plumbing.
+            return self._run_fast_perf(until, max_events, perf)
+        heap = self._heap
+        heappop = heapq.heappop
         pool = self._pool
         pool_append = pool.append
         horizon = float("inf") if until is None else until
         limit = float("inf") if max_events is None else max_events
         processed = 0
-        while heap:
+        while True:
+            if not heap:
+                if self._far_count and self._advance_epoch():
+                    continue
+                break
             entry = heappop(heap)
+            if len(entry) == 4:
+                # Anonymous event (time, seq, fn, args): no handle to
+                # neutralise, no cancellation to test, no pool churn.
+                time = entry[0]
+                if time > horizon:
+                    heapq.heappush(heap, entry)
+                    break
+                self._live -= 1
+                if time < self.now:
+                    raise SimulationError(
+                        "event heap yielded an event in the past")
+                self.now = time
+                if checker is not None:
+                    checker.on_event(self)
+                if watchdog is not None:
+                    watchdog.on_event(self)
+                if obs is not None:
+                    obs.on_event(self)
+                fn = entry[2]
+                if perf is not None:
+                    perf.on_event(fn, len(heap))
+                fn(*entry[3])
+                processed += 1
+                self._events_processed += 1
+                if processed >= limit:
+                    break
+                continue
             event = entry[2]
             if event.cancelled:
                 event.fn = None
@@ -356,6 +579,185 @@ class Simulator:
                 break
         return processed
 
+    def _run_fast_perf(self, until: Optional[float],
+                       max_events: Optional[int], perf) -> int:
+        """The probe-only dispatch loop (bench protocol).
+
+        Identical event ordering and counting to :meth:`_run_fast`
+        with only the probe attached; the probe's per-event counting
+        is inlined on loop locals and the ``_live``/
+        ``_events_processed`` bookkeeping is batched (safe here: the
+        probe never reads either, and with no gauges/watchdog nothing
+        samples them mid-run).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        pool = self._pool
+        pool_append = pool.append
+        # Probe bookkeeping is inlined on locals (the counts dict, the
+        # running heap peak) and folded back in ``finally`` — exactly
+        # what PerfProbe.on_event computes, without a method call per
+        # event.  Safe for the same reason the _live batching is: the
+        # probe is only read after run() returns.
+        counts = perf._raw_counts
+        peak = perf.peak_heap
+        horizon = float("inf") if until is None else until
+        limit = float("inf") if max_events is None else max_events
+        processed = 0
+        fired = 0
+        now = self.now
+        try:
+            while True:
+                if not heap:
+                    if self._far_count and self._advance_epoch():
+                        continue
+                    break
+                entry = heappop(heap)
+                if len(entry) == 4:
+                    time = entry[0]
+                    if time > horizon:
+                        _heappush(heap, entry)
+                        break
+                    if time < now:
+                        raise SimulationError(
+                            "event heap yielded an event in the past")
+                    fired += 1
+                    self.now = now = time
+                    fn = entry[2]
+                    depth = len(heap)
+                    if depth > peak:
+                        peak = depth
+                    try:
+                        counts[fn] += 1
+                    except KeyError:
+                        counts[fn] = 1
+                    except TypeError:
+                        key = getattr(fn, "__qualname__", None) or repr(fn)
+                        counts[key] = counts.get(key, 0) + 1
+                    fn(*entry[3])
+                    processed += 1
+                    if processed >= limit:
+                        break
+                    continue
+                event = entry[2]
+                if event.cancelled:
+                    event.fn = None
+                    event.args = ()
+                    if len(pool) < _POOL_MAX:
+                        pool_append(event)
+                    continue
+                time = entry[0]
+                if time > horizon:
+                    _heappush(heap, entry)
+                    break
+                event._sim = None
+                if time < now:
+                    raise SimulationError(
+                        "event heap yielded an event in the past")
+                fired += 1
+                self.now = now = time
+                fn = event.fn
+                args = event.args
+                depth = len(heap)
+                if depth > peak:
+                    peak = depth
+                try:
+                    counts[fn] += 1
+                except KeyError:
+                    counts[fn] = 1
+                except TypeError:
+                    key = getattr(fn, "__qualname__", None) or repr(fn)
+                    counts[key] = counts.get(key, 0) + 1
+                fn(*args)
+                event.cancelled = True
+                event.fn = None
+                event.args = ()
+                if len(pool) < _POOL_MAX:
+                    pool_append(event)
+                processed += 1
+                if processed >= limit:
+                    break
+        finally:
+            self._live -= fired
+            self._events_processed += processed
+            perf.events += fired
+            if peak > perf.peak_heap:
+                perf.peak_heap = peak
+        return processed
+
+    def _run_fast_bare(self, until: Optional[float],
+                       max_events: Optional[int]) -> int:
+        """The no-hooks dispatch loop (no probe/checker/watchdog/gauges).
+
+        Identical event ordering and counting to :meth:`_run_fast`;
+        only the per-event hook tests are gone and the
+        ``_live``/``_events_processed`` bookkeeping is batched (safe:
+        nothing reads either mid-run without a hook attached).
+        """
+        heap = self._heap
+        heappop = heapq.heappop
+        pool = self._pool
+        pool_append = pool.append
+        horizon = float("inf") if until is None else until
+        limit = float("inf") if max_events is None else max_events
+        processed = 0
+        fired = 0
+        now = self.now
+        try:
+            while True:
+                if not heap:
+                    if self._far_count and self._advance_epoch():
+                        continue
+                    break
+                entry = heappop(heap)
+                if len(entry) == 4:
+                    time = entry[0]
+                    if time > horizon:
+                        _heappush(heap, entry)
+                        break
+                    if time < now:
+                        raise SimulationError(
+                            "event heap yielded an event in the past")
+                    fired += 1
+                    self.now = now = time
+                    entry[2](*entry[3])
+                    processed += 1
+                    if processed >= limit:
+                        break
+                    continue
+                event = entry[2]
+                if event.cancelled:
+                    event.fn = None
+                    event.args = ()
+                    if len(pool) < _POOL_MAX:
+                        pool_append(event)
+                    continue
+                time = entry[0]
+                if time > horizon:
+                    _heappush(heap, entry)
+                    break
+                event._sim = None
+                if time < now:
+                    raise SimulationError(
+                        "event heap yielded an event in the past")
+                fired += 1
+                self.now = now = time
+                fn = event.fn
+                args = event.args
+                fn(*args)
+                event.cancelled = True
+                event.fn = None
+                event.args = ()
+                if len(pool) < _POOL_MAX:
+                    pool_append(event)
+                processed += 1
+                if processed >= limit:
+                    break
+        finally:
+            self._live -= fired
+            self._events_processed += processed
+        return processed
+
     def _run_slow(self, until: Optional[float],
                   max_events: Optional[int]) -> int:
         """The seed engine's loop, kept verbatim as the reference path."""
@@ -395,9 +797,16 @@ class Simulator:
         # global minimum, so a single comparison answers the question.
         heap = self._heap
         if self._fast:
-            while heap and heap[0][2].cancelled:
-                self._recycle(heapq.heappop(heap)[2])
-            return bool(heap) and heap[0][0] <= horizon
+            while True:
+                while heap and len(heap[0]) == 3 and heap[0][2].cancelled:
+                    self._recycle(heapq.heappop(heap)[2])
+                if heap:
+                    return heap[0][0] <= horizon
+                # Heap drained to all-cancelled: pull the next calendar
+                # bucket (if any) and keep pruning.  Amortised O(1) —
+                # each entry is loaded at most once ever.
+                if not (self._far_count and self._advance_epoch()):
+                    return False
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
         return bool(heap) and heap[0].time <= horizon
@@ -417,8 +826,27 @@ class Simulator:
 
     @property
     def heap_size(self) -> int:
-        """Raw heap length, including lazily-deleted cancelled events."""
+        """Raw heap length, including lazily-deleted cancelled events.
+
+        Far events parked in calendar buckets are *not* counted; see
+        :attr:`far_events`.
+        """
         return len(self._heap)
+
+    @property
+    def far_events(self) -> int:
+        """Events parked in far-horizon calendar buckets (may include
+        cancelled handles, mirroring :attr:`heap_size`)."""
+        return self._far_count
+
+    @property
+    def far_events_peak(self) -> int:
+        """Largest number of simultaneously parked far events seen.
+
+        Zero means the calendar wheel never engaged and the run used
+        the plain tuple heap throughout.  Deterministic, so scaling
+        cells can gate on it."""
+        return self._far_peak
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Simulator(now={self.now:.6f}, pending={self.pending_events})"

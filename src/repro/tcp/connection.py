@@ -16,6 +16,18 @@ socket + tcpcb).  It owns:
 Everything observable about the connection is recorded through the
 attached :class:`~repro.trace.tracer.ConnectionTracer`, which is what
 the paper's graphing tools consume.
+
+Hot state lives in a :class:`~repro.tcp.flatstate.ConnStateStore`
+slot, not in instance attributes: sequence variables, timer
+countdowns, RTT/CAM accumulators and the send-time heap index are
+columns of a packed struct-of-arrays store shared by every connection
+of a simulator, which is what lets the host protocol's periodic scans
+and a future compiled dispatch path walk flat memory.  The accessor
+properties below keep the public attribute API (``conn.snd_una``,
+``conn.t_rexmt``...) unchanged; hot methods hoist the store columns
+into locals instead.  Under ``REPRO_ENGINE_SLOWPATH`` each connection
+gets a private store, restoring the seed's per-object state layout
+for the bit-identity differential.
 """
 
 from __future__ import annotations
@@ -33,6 +45,7 @@ from repro.net.addresses import FlowId
 from repro.net.packet import Packet
 from repro.tcp import constants as C
 from repro.tcp.buffers import SendBuffer
+from repro.tcp.flatstate import ConnStateStore, store_for
 from repro.tcp.receiver import AckAction, ReceiverHalf
 from repro.tcp.rtt import CoarseRttEstimator, FineRttEstimator
 from repro.tcp.sack import SackScoreboard
@@ -42,14 +55,19 @@ from repro.tcp.segment import (
     FLAG_FIN,
     FLAG_SYN,
     MAX_SACK_BLOCKS,
+    SACK_BLOCK_BYTES,
     TCPSegment,
 )
+from repro.tcp.constants import HEADER_BYTES
 from repro.trace.records import Kind
 from repro.trace.tracer import NULL_TRACER, ConnectionTracer
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.base import CongestionControl
     from repro.tcp.protocol import TCPProtocol
+
+_heappush = heapq.heappush
+_heappop = heapq.heappop
 
 
 class State(enum.Enum):
@@ -74,54 +92,46 @@ class TCPConnection:
                  sack: bool = False,
                  ecn: bool = False):
         self.protocol = protocol
-        self.sim = protocol.sim
+        self._host = protocol.host
+        self._send_packet = protocol.host.send_packet
+        # Egress route cache for _transmit, resolved on first use:
+        # routes are static once the topology is built, so the
+        # per-segment forwarding lookup collapses to one bound call.
+        self._route = None
+        sim = protocol.sim
+        self.sim = sim
         self.flow = flow
         self.mss = mss
         self.nagle = nagle
         self.tracer = tracer if tracer is not None else NULL_TRACER
         self.stats = FlowStats()
-        self.state = State.CLOSED
+
+        # Flat hot-state slot.  Fast path: the simulator-wide shared
+        # store, so protocol timer scans walk packed arrays.  Slow path
+        # (REPRO_ENGINE_SLOWPATH): a private store per connection —
+        # state is per-object again, as in the seed, and the protocol
+        # falls back to the per-connection method scan.
+        if getattr(sim, "_fast", True):
+            st = store_for(sim)
+        else:
+            st = ConnStateStore()
+        self._st = st
+        self._slot = slot = st.alloc()
+        self._state = State.CLOSED  # state_code default is CLOSED
 
         # --- Sender half -------------------------------------------------
         self.iss = 0
         self.sendbuf = SendBuffer(sndbuf, start_seq=1)
-        self.snd_una = 0
-        self.snd_nxt = 0
-        self.snd_max = 0          # highest end-sequence ever sent
-        self.peer_wnd = 0
         self.peer_wnd_seen = False
-        self.dupacks = 0
-        self.rexmt_shift = 0
-        self.t_rexmt: Optional[int] = None   # ticks until coarse timeout
-        self.coarse_rtt = CoarseRttEstimator()
-        self.fine_rtt = FineRttEstimator()
-        self._timing_seq: Optional[int] = None   # coarse timing (one at a time)
-        self._timing_ticks = 0
-        # Fine-grained per-segment clocks: end_seq -> last transmit time.
-        # _ends_heap is a min-heap over exactly the dict's keys, so the
-        # smallest outstanding end_seq is O(1) and purging on ACK is
-        # O(log n) per removed entry instead of a full-dict scan.
-        self._send_times: Dict[int, float] = {}
-        self._ends_heap: List[int] = []
-        self._ambiguous: set = set()   # end_seqs retransmitted (Karn)
-        # Zero-window persist machinery: probe end_seqs are excluded
-        # from congestion-control measurements, and probes back off
-        # exponentially instead of firing every slow tick.
-        self._probe_ends: set = set()
-        self._persist_shift = 0
-        self._persist_countdown = 0
+        self.coarse_rtt = CoarseRttEstimator(store=st, slot=slot)
+        self.fine_rtt = FineRttEstimator(store=st, slot=slot)
         self.fin_pending = False
         self.fin_sent = False
         self.fin_end: Optional[int] = None
         self.fin_acked = False
-        #: Consecutive coarse timeouts without forward progress; the
-        #: connection aborts when this exceeds MAX_REXMT_SHIFT, like
-        #: BSD's dropwithreset after 12 fruitless retransmissions.
-        self.consecutive_timeouts = 0
         self.aborted = False
         # Optional transmission pacing (used by the experimental
         # rate-controlled slow start of §3.3's future work).
-        self._pace_next_time = 0.0
         self._pace_event = None
         # Selective acknowledgements (§6 extension): when enabled, this
         # endpoint *sends* SACK blocks for its out-of-order reassembly
@@ -137,7 +147,8 @@ class TCPConnection:
         self.ecn_echoes_received = 0
 
         # --- Receiver half ------------------------------------------------
-        self.recv = ReceiverHalf(rcvbuf, delayed_acks=delayed_acks)
+        self.recv = ReceiverHalf(rcvbuf, delayed_acks=delayed_acks,
+                                 store=st, slot=slot)
         self.peer_fin = False
 
         # --- Application callbacks ----------------------------------------
@@ -149,6 +160,11 @@ class TCPConnection:
 
         self.cc = cc
         cc.attach(self)
+        # A controller that never overrides pacing_rate can never pace
+        # (the base method returns None unconditionally), so the
+        # per-segment pacing probes in output() are skipped outright.
+        from repro.core.base import CongestionControl as _base_cc
+        self._paced = type(cc).pacing_rate is not _base_cc.pacing_rate
 
         # Invariant checking (repro.checks): bound at construction so
         # every hook below is one `is not None` test when inactive.
@@ -168,6 +184,168 @@ class TCPConnection:
             _obs.register_connection(self)
 
     # ------------------------------------------------------------------
+    # Flat-state accessors (hot methods hoist the columns instead)
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> State:
+        return self._state
+
+    @state.setter
+    def state(self, value: State) -> None:
+        self._state = value
+        self._st.state_code[self._slot] = value.value
+
+    @property
+    def snd_una(self) -> int:
+        return self._st.snd_una[self._slot]
+
+    @snd_una.setter
+    def snd_una(self, value: int) -> None:
+        self._st.snd_una[self._slot] = value
+
+    @property
+    def snd_nxt(self) -> int:
+        return self._st.snd_nxt[self._slot]
+
+    @snd_nxt.setter
+    def snd_nxt(self, value: int) -> None:
+        self._st.snd_nxt[self._slot] = value
+
+    @property
+    def snd_max(self) -> int:
+        """Highest end-sequence ever sent."""
+        return self._st.snd_max[self._slot]
+
+    @snd_max.setter
+    def snd_max(self, value: int) -> None:
+        self._st.snd_max[self._slot] = value
+
+    @property
+    def peer_wnd(self) -> int:
+        return self._st.peer_wnd[self._slot]
+
+    @peer_wnd.setter
+    def peer_wnd(self, value: int) -> None:
+        self._st.peer_wnd[self._slot] = value
+
+    @property
+    def dupacks(self) -> int:
+        return self._st.dupacks[self._slot]
+
+    @dupacks.setter
+    def dupacks(self, value: int) -> None:
+        self._st.dupacks[self._slot] = value
+
+    @property
+    def rexmt_shift(self) -> int:
+        return self._st.rexmt_shift[self._slot]
+
+    @rexmt_shift.setter
+    def rexmt_shift(self, value: int) -> None:
+        self._st.rexmt_shift[self._slot] = value
+
+    @property
+    def consecutive_timeouts(self) -> int:
+        """Consecutive coarse timeouts without forward progress; the
+        connection aborts when this exceeds MAX_REXMT_SHIFT, like
+        BSD's dropwithreset after 12 fruitless retransmissions."""
+        return self._st.consec_timeouts[self._slot]
+
+    @consecutive_timeouts.setter
+    def consecutive_timeouts(self, value: int) -> None:
+        self._st.consec_timeouts[self._slot] = value
+
+    @property
+    def t_rexmt(self) -> Optional[int]:
+        """Ticks until coarse timeout (``None`` when unarmed)."""
+        v = self._st.t_rexmt[self._slot]
+        return None if v < 0 else v
+
+    @t_rexmt.setter
+    def t_rexmt(self, value: Optional[int]) -> None:
+        self._st.t_rexmt[self._slot] = -1 if value is None else value
+
+    @property
+    def _timing_seq(self) -> Optional[int]:
+        """Coarse-timed sequence number (one at a time; Karn-guarded)."""
+        v = self._st.timing_seq[self._slot]
+        return None if v < 0 else v
+
+    @_timing_seq.setter
+    def _timing_seq(self, value: Optional[int]) -> None:
+        self._st.timing_seq[self._slot] = -1 if value is None else value
+
+    @property
+    def _timing_ticks(self) -> int:
+        return self._st.timing_ticks[self._slot]
+
+    @_timing_ticks.setter
+    def _timing_ticks(self, value: int) -> None:
+        self._st.timing_ticks[self._slot] = value
+
+    @property
+    def _persist_shift(self) -> int:
+        return self._st.persist_shift[self._slot]
+
+    @_persist_shift.setter
+    def _persist_shift(self, value: int) -> None:
+        self._st.persist_shift[self._slot] = value
+
+    @property
+    def _persist_countdown(self) -> int:
+        return self._st.persist_countdown[self._slot]
+
+    @_persist_countdown.setter
+    def _persist_countdown(self, value: int) -> None:
+        self._st.persist_countdown[self._slot] = value
+
+    @property
+    def _pace_next_time(self) -> float:
+        return self._st.pace_next[self._slot]
+
+    @_pace_next_time.setter
+    def _pace_next_time(self, value: float) -> None:
+        self._st.pace_next[self._slot] = value
+
+    @property
+    def _send_times(self) -> Dict[int, float]:
+        """Fine per-segment clocks: end_seq -> last transmit time."""
+        return self._st.send_times[self._slot]
+
+    @_send_times.setter
+    def _send_times(self, value: Dict[int, float]) -> None:
+        self._st.send_times[self._slot] = value
+
+    @property
+    def _ends_heap(self) -> List[int]:
+        """Min-heap over exactly ``_send_times``'s keys, so the
+        smallest outstanding end_seq is O(1) and purging on ACK is
+        O(log n) per removed entry instead of a full-dict scan."""
+        return self._st.ends_heap[self._slot]
+
+    @_ends_heap.setter
+    def _ends_heap(self, value: List[int]) -> None:
+        self._st.ends_heap[self._slot] = value
+
+    @property
+    def _ambiguous(self) -> set:
+        """End_seqs retransmitted (Karn)."""
+        return self._st.ambiguous[self._slot]
+
+    @_ambiguous.setter
+    def _ambiguous(self, value: set) -> None:
+        self._st.ambiguous[self._slot] = value
+
+    @property
+    def _probe_ends(self) -> set:
+        """Persist-probe end_seqs, excluded from CC measurements."""
+        return self._st.probe_ends[self._slot]
+
+    @_probe_ends.setter
+    def _probe_ends(self, value: set) -> None:
+        self._st.probe_ends[self._slot] = value
+
+    # ------------------------------------------------------------------
     # Convenience properties
     # ------------------------------------------------------------------
     @property
@@ -176,19 +354,21 @@ class TCPConnection:
 
     @property
     def is_closed(self) -> bool:
-        return self.state == State.CLOSED and self.stats.close_time is not None
+        return self._state is State.CLOSED and self.stats.close_time is not None
 
     def flight_size(self) -> int:
         """Bytes sent but not yet acknowledged."""
-        return self.snd_nxt - self.snd_una
+        st = self._st
+        i = self._slot
+        return st.snd_nxt[i] - st.snd_una[i]
 
     @property
     def send_window(self) -> int:
         """min(cwnd, peer advertised window), the paper's send window."""
-        return min(self.cc.cwnd, self.peer_wnd)
+        return min(self.cc.cwnd, self._st.peer_wnd[self._slot])
 
     def unsent_bytes(self) -> int:
-        return self.sendbuf.queued_end - self.snd_nxt
+        return self.sendbuf.queued_end - self._st.snd_nxt[self._slot]
 
     # ------------------------------------------------------------------
     # Liveness protocol (consumed by repro.sim.watchdog)
@@ -213,7 +393,7 @@ class TCPConnection:
         """
         if self.aborted:
             return True
-        if self.state == State.CLOSED:
+        if self._state is State.CLOSED:
             return False
         if self.snd_nxt > self.snd_una or self.unsent_bytes() > 0:
             return True
@@ -223,7 +403,7 @@ class TCPConnection:
         """Diagnostic state for a :class:`~repro.errors.SimulationStalled`."""
         return {
             "flow": str(self.flow),
-            "state": self.state.name,
+            "state": self._state.name,
             "snd_una": self.snd_una,
             "snd_nxt": self.snd_nxt,
             "snd_max": self.snd_max,
@@ -243,19 +423,19 @@ class TCPConnection:
     # ------------------------------------------------------------------
     def open_active(self) -> None:
         """Send a SYN (active open)."""
-        if self.state != State.CLOSED or self.stats.open_time is not None:
+        if self._state is not State.CLOSED or self.stats.open_time is not None:
             raise ProtocolError("connection already opened")
         self.stats.open_time = self.sim.now
         self.state = State.SYN_SENT
         self.snd_una = self.iss
         self.snd_nxt = self.iss + 1
         self.snd_max = self.iss + 1
-        self._trace(Kind.STATE, self.state.value)
+        self._trace(Kind.STATE, self._state.value)
         self._send_syn()
 
     def open_passive(self, syn: TCPSegment) -> None:
         """Respond to an incoming SYN (passive open)."""
-        if self.state != State.CLOSED:
+        if self._state is not State.CLOSED:
             raise ProtocolError("connection already opened")
         self.stats.open_time = self.sim.now
         self.recv.init_sequence(syn.seq + 1)
@@ -265,19 +445,21 @@ class TCPConnection:
         self.snd_una = self.iss
         self.snd_nxt = self.iss + 1
         self.snd_max = self.iss + 1
-        self._trace(Kind.STATE, self.state.value)
+        self._trace(Kind.STATE, self._state.value)
         self._send_syn(ack=True)
 
     def _send_syn(self, ack: bool = False) -> None:
+        st = self._st
+        i = self._slot
         flags = FLAG_SYN | (FLAG_ACK if ack else 0)
         seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
                          seq=self.iss, length=0,
                          ack=self.recv.rcv_nxt if ack else 0,
                          flags=flags, wnd=self.recv.rcv_wnd)
         self._note_send_time(self.iss + 1, self.sim.now)
-        if self._timing_seq is None:
-            self._timing_seq = self.iss
-            self._timing_ticks = 1
+        if st.timing_seq[i] < 0:
+            st.timing_seq[i] = self.iss
+            st.timing_ticks[i] = 1
         if self._checker is not None:
             self._checker.note_sent(self, self.iss, self.iss + 1,
                                     is_data=False)
@@ -296,7 +478,8 @@ class TCPConnection:
         if accepted:
             self.stats.app_bytes_queued += accepted
             self._trace(Kind.APP_WRITE, accepted)
-        if self.state in (State.ESTABLISHED, State.CLOSING):
+        state = self._state
+        if state is State.ESTABLISHED or state is State.CLOSING:
             self.output()
         return accepted
 
@@ -306,7 +489,8 @@ class TCPConnection:
             return
         self.protocol.notify_activity()
         self.fin_pending = True
-        if self.state in (State.ESTABLISHED, State.CLOSING):
+        state = self._state
+        if state is State.ESTABLISHED or state is State.CLOSING:
             self.output()
 
     # ------------------------------------------------------------------
@@ -314,19 +498,26 @@ class TCPConnection:
     # ------------------------------------------------------------------
     def output(self) -> None:
         """Send as much queued data as the windows allow (BSD tcp_output)."""
-        if self.state not in (State.ESTABLISHED, State.CLOSING):
+        state = self._state
+        if state is not State.ESTABLISHED and state is not State.CLOSING:
             return
         # Hot loop: the window terms are recomputed each iteration (a
-        # sent segment moves snd_nxt) but via plain locals rather than
-        # the send_window/flight_size/unsent_bytes helpers.
-        cc = self.cc
+        # sent segment moves snd_nxt) but straight off the flat store's
+        # hoisted columns rather than via helper properties.
+        st = self._st
+        i = self._slot
         mss = self.mss
         sendbuf = self.sendbuf
+        paced = self._paced
+        col_nxt = st.snd_nxt
+        col_una = st.snd_una
+        col_cwnd = st.cwnd
+        col_pwnd = st.peer_wnd
         while True:
-            snd_nxt = self.snd_nxt
-            flight = snd_nxt - self.snd_una
-            window = cc.cwnd
-            peer_wnd = self.peer_wnd
+            snd_nxt = col_nxt[i]
+            flight = snd_nxt - col_una[i]
+            window = col_cwnd[i]
+            peer_wnd = col_pwnd[i]
             if peer_wnd < window:
                 window = peer_wnd
             usable = window - flight
@@ -337,10 +528,13 @@ class TCPConnection:
                     # Nagle / silly-window avoidance: hold sub-MSS
                     # segments while data is outstanding.
                     break
-                if self._pacing_blocked():
-                    break
-                self._send_data_segment(snd_nxt, length)
-                self._pacing_charge(length)
+                if paced:
+                    if self._pacing_blocked():
+                        break
+                    self._send_data_segment(snd_nxt, length)
+                    self._pacing_charge(length)
+                else:
+                    self._send_data_segment(snd_nxt, length)
                 continue
             if (self.fin_pending and not self.fin_sent and unsent == 0
                     and snd_nxt == sendbuf.queued_end):
@@ -354,53 +548,69 @@ class TCPConnection:
 
     def _send_data_segment(self, seq: int, length: int,
                            probe: bool = False) -> None:
+        st = self._st
+        i = self._slot
         now = self.sim.now
         stats = self.stats
         recv = self.recv
-        record = self.tracer.record
+        tracer = self.tracer
+        tracing = tracer.enabled
+        record = tracer.record
         end_seq = seq + length
-        is_retx = end_seq <= self.snd_max
+        is_retx = end_seq <= st.snd_max[i]
         seg = TCPSegment(self.flow.local_port, self.flow.remote_port,
                          seq, length, recv.rcv_nxt, FLAG_ACK, recv.rcv_wnd,
                          self._sack_blocks() if self.sack_enabled else ())
-        recv.delack_pending = False  # inlined recv.ack_sent()
+        st.delack[i] = 0  # inlined recv.ack_sent()
+        send_times = st.send_times[i]
         if is_retx:
             stats.retransmitted_bytes += length
             stats.retransmit_segments += 1
-            record(now, Kind.RETX, seq, length)
-            if end_seq in self._send_times:
-                self._ambiguous.add(end_seq)
+            if tracing:
+                record(now, Kind.RETX, seq, length)
+            if end_seq in send_times:
+                st.ambiguous[i].add(end_seq)
             # Karn: a retransmission covering the timed segment
             # invalidates the coarse measurement.
-            if (self._timing_seq is not None
-                    and seq <= self._timing_seq < end_seq):
-                self._timing_seq = None
+            tseq = st.timing_seq[i]
+            if 0 <= tseq and seq <= tseq < end_seq:
+                st.timing_seq[i] = -1
         else:
-            record(now, Kind.SEND, seq, length)
-            if self._timing_seq is None and not probe:
-                self._timing_seq = seq
-                self._timing_ticks = 1
-        self._note_send_time(end_seq, now)
+            if tracing:
+                record(now, Kind.SEND, seq, length)
+            if st.timing_seq[i] < 0 and not probe:
+                st.timing_seq[i] = seq
+                st.timing_ticks[i] = 1
+        # Inlined _note_send_time: retransmissions refresh the clock of
+        # an end_seq that is already indexed; only genuinely new keys
+        # enter the heap, so heap and dict hold exactly the same keys.
+        if end_seq not in send_times:
+            _heappush(st.ends_heap[i], end_seq)
+        send_times[end_seq] = now
         if probe:
             # A persist probe is a forced 1-byte send outside the
             # window discipline.  Its RTT measures a starved path, so
             # it must never become a Vegas distinguished segment or
             # feed BaseRTT — mark it and keep congestion control blind.
-            self._probe_ends.add(end_seq)
+            st.probe_ends[i].add(end_seq)
         stats.bytes_sent_total += length
         stats.segments_sent += 1
         if stats.first_send_time is None:
             stats.first_send_time = now
-        if end_seq > self.snd_nxt:
-            self.snd_nxt = end_seq
-        if end_seq > self.snd_max:
-            self.snd_max = end_seq
+        if end_seq > st.snd_nxt[i]:
+            st.snd_nxt[i] = end_seq
+        if end_seq > st.snd_max[i]:
+            st.snd_max[i] = end_seq
         if self._checker is not None:
             self._checker.note_sent(self, seq, end_seq)
-        self._arm_rexmt()
+        if st.t_rexmt[i] < 0:  # _arm_rexmt() inlined
+            cr = self.coarse_rtt
+            st.t_rexmt[i] = min(cr.max_rto_ticks,
+                                st.coarse_rto_ticks[i] << st.rexmt_shift[i])
         if not probe:
             self.cc.on_segment_sent(seq, length, end_seq, is_retx, now)
-        record(now, Kind.FLIGHT, self.snd_nxt - self.snd_una)
+        if tracing:
+            record(now, Kind.FLIGHT, st.snd_nxt[i] - st.snd_una[i])
         self._transmit(seg)
 
     def _send_fin(self) -> None:
@@ -420,7 +630,7 @@ class TCPConnection:
             self._checker.note_sent(self, seq, self.fin_end, is_data=False)
         self.state = State.CLOSING
         self._trace(Kind.FIN, seq)
-        self._trace(Kind.STATE, self.state.value)
+        self._trace(Kind.STATE, self._state.value)
         self._arm_rexmt()
         self._transmit(seg)
 
@@ -431,24 +641,26 @@ class TCPConnection:
         Called by congestion-control policies; the window decision is
         theirs, the mechanics are here.
         """
+        st = self._st
+        i = self._slot
+        snd_una = st.snd_una[i]
         data_end = self.sendbuf.queued_end
-        if self.snd_una < data_end:
-            length = min(self.mss, data_end - self.snd_una,
-                         max(self.snd_max - self.snd_una, 0))
+        if snd_una < data_end:
+            length = min(self.mss, data_end - snd_una,
+                         max(st.snd_max[i] - snd_una, 0))
             if length <= 0:
-                return self.snd_una
-            seq = self.snd_una
+                return snd_una
             if reason.startswith("fine"):
                 self.stats.fine_retransmits += 1
-                self._trace(Kind.FINE_RETX, seq,
+                self._trace(Kind.FINE_RETX, snd_una,
                             1 if reason == "fine-dupack" else 2)
             else:
                 self.stats.fast_retransmits += 1
-            self._send_data_segment(seq, length)
-            return seq
+            self._send_data_segment(snd_una, length)
+            return snd_una
         if self.fin_sent and not self.fin_acked:
             self._send_fin_again()
-        return self.snd_una
+        return snd_una
 
     def retransmit_hole(self, seq: int, length: int,
                         reason: str = "sack") -> None:
@@ -484,7 +696,7 @@ class TCPConnection:
                          self.snd_nxt, 0, recv.rcv_nxt, FLAG_ACK,
                          recv.rcv_wnd,
                          self._sack_blocks() if self.sack_enabled else ())
-        self.recv.ack_sent()
+        self._st.delack[self._slot] = 0  # inlined recv.ack_sent()
         self._transmit(seg)
         # One echo (at least) per congestion mark.
         self._ece_pending = False
@@ -493,9 +705,25 @@ class TCPConnection:
         if self.ecn_enabled and self._ece_pending and seg.flags & FLAG_ACK:
             seg.flags |= FLAG_ECE
         packet = Packet(self.flow.local_addr, self.flow.remote_addr,
-                        seg, seg.wire_size, created_at=self.sim.now,
+                        seg,
+                        # seg.wire_size inlined (one call per segment).
+                        HEADER_BYTES + seg.length
+                        + SACK_BLOCK_BYTES * len(seg.sack),
+                        created_at=self.sim.now,
                         ecn_capable=self.ecn_enabled and seg.length > 0)
-        self.protocol.host.send_packet(packet)
+        host = self._host
+        route = self._route
+        if route is None:
+            route = host.forwarding.get(self.flow.remote_addr)
+            if route is None or self.flow.remote_addr == host.name:
+                # No route yet (or loopback): the general path raises
+                # or loops back as appropriate.
+                self._send_packet(packet)
+                return
+            self._route = route
+        host.packets_sent += 1
+        host.bytes_sent += packet.size
+        route[2](packet, route[1])
 
     # ------------------------------------------------------------------
     # Input path
@@ -512,13 +740,13 @@ class TCPConnection:
         flags = seg.flags
         if self.ecn_enabled and ecn_marked:
             self._ece_pending = True
-        state = self.state
-        if state == State.SYN_SENT:
+        state = self._state
+        if state is State.SYN_SENT:
             self._handle_syn_sent(seg)
             if self._checker is not None:
                 self._checker.on_segment_processed(self)
             return
-        if state == State.SYN_RCVD:
+        if state is State.SYN_RCVD:
             if flags & FLAG_ACK and seg.ack >= self.iss + 1:
                 self._become_established(seg)
                 # Fall through: the segment may carry data too.
@@ -526,7 +754,7 @@ class TCPConnection:
                 # Our SYN-ACK was lost; resend it.
                 self._send_syn(ack=True)
                 return
-        elif state == State.CLOSED:
+        elif state is State.CLOSED:
             # Residual segments after close (e.g. a retransmitted FIN):
             # re-ACK so the peer can finish, then ignore.
             if seg.length > 0 or flags & FLAG_FIN:
@@ -545,7 +773,8 @@ class TCPConnection:
         if fin_action or action is AckAction.NOW:
             self.send_ack()
 
-        self._maybe_done()
+        if self.fin_acked and self.peer_fin:  # _maybe_done precondition
+            self._maybe_done()
         if self._checker is not None:
             self._checker.on_segment_processed(self)
 
@@ -566,7 +795,7 @@ class TCPConnection:
         if seg.has_ack and seg.ack == self.iss + 1:
             self._note_ack_progress(seg.ack)
         self._trace(Kind.ESTABLISHED)
-        self._trace(Kind.STATE, self.state.value)
+        self._trace(Kind.STATE, self._state.value)
         self.cc.on_established(self.sim.now)
         if self.on_established is not None:
             self.on_established(self)
@@ -574,11 +803,14 @@ class TCPConnection:
 
     def _note_ack_progress(self, ack: int) -> None:
         """Minimal ack bookkeeping used during the handshake."""
-        if ack <= self.snd_una or ack > self.snd_max:
+        st = self._st
+        i = self._slot
+        if ack <= st.snd_una[i] or ack > st.snd_max[i]:
             return
-        if self._timing_seq is not None and ack > self._timing_seq:
-            self.coarse_rtt.update(self._timing_ticks)
-            self._timing_seq = None
+        tseq = st.timing_seq[i]
+        if 0 <= tseq < ack:
+            self.coarse_rtt.update(st.timing_ticks[i])
+            st.timing_seq[i] = -1
         sample = self._fine_sample_for(ack)
         if sample is not None:
             # A SYN is 40 bytes on the wire; its RTT under-represents
@@ -587,102 +819,141 @@ class TCPConnection:
             self.fine_rtt.update(sample, update_base=False)
             self.stats.note_rtt(sample)
         self._purge_send_times(ack)
-        self.snd_una = ack
+        st.snd_una[i] = ack
         if self._checker is not None:
             self._checker.on_ack(self, ack)
-        self.rexmt_shift = 0
-        self.consecutive_timeouts = 0
-        if self.snd_una >= self.snd_max:
-            self.t_rexmt = None
+        st.rexmt_shift[i] = 0
+        st.consec_timeouts[i] = 0
+        if ack >= st.snd_max[i]:
+            st.t_rexmt[i] = -1
         else:
             self._arm_rexmt(force=True)
 
     def _process_ack(self, seg: TCPSegment) -> None:
+        st = self._st
+        i = self._slot
         ack = seg.ack
-        if ack > self.snd_max:
+        if ack > st.snd_max[i]:
             return  # acks data never sent; ignore
         flags = seg.flags
         if self.ecn_enabled and flags & FLAG_ECE:
             self.ecn_echoes_received += 1
             self.cc.on_ecn_echo(self.sim.now)
         if self.sack_enabled and seg.sack:
+            snd_max = st.snd_max[i]
             for start, end in seg.sack:
-                self.sack_board.add(start, min(end, self.snd_max))
+                self.sack_board.add(start, min(end, snd_max))
         seg_wnd = seg.wnd
-        snd_una = self.snd_una
+        snd_una = st.snd_una[i]
         if ack > snd_una:
-            self.peer_wnd = seg_wnd
+            st.peer_wnd[i] = seg_wnd
             self._handle_new_ack(ack, seg)
         elif (ack == snd_una and seg.length == 0
               and not flags & (FLAG_SYN | FLAG_FIN)
-              and self.snd_nxt > snd_una
-              and seg_wnd == self.peer_wnd):
-            self.dupacks += 1
+              and st.snd_nxt[i] > snd_una
+              and seg_wnd == st.peer_wnd[i]):
+            dupacks = st.dupacks[i] + 1
+            st.dupacks[i] = dupacks
             self.stats.dup_acks_received += 1
-            self._trace(Kind.DUPACK_RX, ack, self.dupacks)
-            self.cc.on_dup_ack(self.dupacks, self.sim.now)
+            self._trace(Kind.DUPACK_RX, ack, dupacks)
+            self.cc.on_dup_ack(dupacks, self.sim.now)
             self.output()
         else:
-            self.peer_wnd = seg_wnd
+            st.peer_wnd[i] = seg_wnd
 
     def _handle_new_ack(self, ack: int, seg: TCPSegment) -> None:
+        st = self._st
+        i = self._slot
         now = self.sim.now
         stats = self.stats
-        record = self.tracer.record
-        acked = ack - self.snd_una
+        tracer = self.tracer
+        # record() is a no-op on a disabled tracer, so guarding the
+        # call sites (and their argument computation) is bit-identical
+        # and saves four calls per ACK on untraced connections.
+        tracing = tracer.enabled
+        record = tracer.record
+        acked = ack - st.snd_una[i]
         stats.acks_received += 1
-        record(now, Kind.ACK_RX, ack)
+        if tracing:
+            record(now, Kind.ACK_RX, ack)
         # Coarse RTT sample (one timed segment at a time, Karn-guarded).
-        if self._timing_seq is not None and ack > self._timing_seq:
-            self.coarse_rtt.update(self._timing_ticks)
-            self._timing_seq = None
+        tseq = st.timing_seq[i]
+        if 0 <= tseq < ack:
+            self.coarse_rtt.update(st.timing_ticks[i])
+            st.timing_seq[i] = -1
         # Fine-grained RTT sample from per-segment clocks.  FIN-only
         # segments (40 bytes on the wire) are excluded from BaseRTT for
         # the same reason SYNs are: they pay less serialization than a
         # data segment and would read as an impossibly good path.
-        sample = self._fine_sample_for(ack)
+        send_times = st.send_times[i]
+        ts = send_times.get(ack)
+        sample = None
+        if ts is not None and ack not in st.ambiguous[i]:
+            sample = now - ts
         if sample is not None:
-            is_fin_sample = (self.fin_end is not None and ack == self.fin_end
+            fin_end = self.fin_end
+            is_fin_sample = (fin_end is not None and ack == fin_end
                              and self.sendbuf.queued_end < ack)
             # A persist probe's RTT is measured through a zero-window
             # stall; like SYN/FIN samples it feeds the smoothed
             # estimator but must not lower BaseRTT, and congestion
             # control never sees it.
-            is_probe_sample = ack in self._probe_ends
+            is_probe_sample = ack in st.probe_ends[i]
             self.fine_rtt.update(
                 sample, update_base=not (is_fin_sample or is_probe_sample))
             stats.note_rtt(sample)
-            record(now, Kind.RTT_SAMPLE, sample * 1e6)
+            if tracing:
+                record(now, Kind.RTT_SAMPLE, sample * 1e6)
             if is_fin_sample or is_probe_sample:
                 sample = None
-        self._purge_send_times(ack)
-        self.snd_una = ack
-        if self.snd_nxt < ack:
+        # Inlined _purge_send_times: the heap's top is the smallest
+        # outstanding end_seq, so the cumulative ACK peels covered
+        # entries in O(log n) each.
+        ends_heap = st.ends_heap[i]
+        ambiguous = st.ambiguous[i]
+        probe_ends = st.probe_ends[i]
+        while ends_heap and ends_heap[0] <= ack:
+            k = _heappop(ends_heap)
+            del send_times[k]
+            ambiguous.discard(k)
+            probe_ends.discard(k)
+        st.snd_una[i] = ack
+        if st.snd_nxt[i] < ack:
             # After a timeout rolled snd_nxt back, an ACK for the
             # original (pre-rollback) transmissions can pass it; pull
             # snd_nxt forward so the flight never goes negative (the
             # same guard 4.3 BSD applies after ACK processing).
-            self.snd_nxt = ack
+            st.snd_nxt[i] = ack
         if self._checker is not None:
             self._checker.on_ack(self, ack)
-        self.sack_board.advance_to(ack)
+        if self.sack_enabled:
+            # Only _process_ack with sack_enabled ever populates the
+            # board, so the advance is a no-op for everyone else.
+            self.sack_board.advance_to(ack)
         freed = self.sendbuf.ack_to(ack)
         if freed:
             stats.app_bytes_acked += freed
             stats.last_ack_time = now
-        if self.fin_sent and self.fin_end is not None and ack >= self.fin_end:
+        fin_end = self.fin_end
+        if self.fin_sent and fin_end is not None and ack >= fin_end:
             self.fin_acked = True
             stats.last_ack_time = now
-        self.dupacks = 0
-        self.rexmt_shift = 0
-        self.consecutive_timeouts = 0
+        st.dupacks[i] = 0
+        st.rexmt_shift[i] = 0
+        st.consec_timeouts[i] = 0
         self.cc.on_new_ack(acked, now, sample)
-        if ack >= self.snd_max:
-            self.t_rexmt = None
+        if ack >= st.snd_max[i]:
+            st.t_rexmt[i] = -1
         else:
-            self._arm_rexmt(force=True)
-        record(now, Kind.SND_WND, min(self.sendbuf.capacity, self.peer_wnd))
-        record(now, Kind.FLIGHT, self.snd_nxt - self.snd_una)
+            # _arm_rexmt(force=True) inlined; rexmt_shift was just
+            # zeroed, so the backed-off RTO is the clamped base RTO.
+            rto = st.coarse_rto_ticks[i]
+            cap = self.coarse_rtt.max_rto_ticks
+            st.t_rexmt[i] = rto if rto < cap else cap
+        if tracing:
+            record(now, Kind.SND_WND,
+                   min(self.sendbuf.capacity, st.peer_wnd[i]))
+            record(now, Kind.FLIGHT, st.snd_nxt[i] - st.snd_una[i])
         self.output()
         if freed and self.on_send_space is not None:
             self.on_send_space(self)
@@ -704,11 +975,11 @@ class TCPConnection:
 
     def _maybe_done(self) -> None:
         if (self.fin_acked and self.peer_fin
-                and self.state != State.CLOSED):
+                and self._state is not State.CLOSED):
             self.state = State.CLOSED
             self.t_rexmt = None
             self.stats.close_time = self.sim.now
-            self._trace(Kind.STATE, self.state.value)
+            self._trace(Kind.STATE, self._state.value)
             self.protocol.connection_closed(self)
             if self.on_closed is not None:
                 self.on_closed(self)
@@ -718,8 +989,10 @@ class TCPConnection:
     # ------------------------------------------------------------------
     def _fine_sample_for(self, ack: int) -> Optional[float]:
         """Exact RTT for the segment whose end is *ack*, if unambiguous."""
-        ts = self._send_times.get(ack)
-        if ts is None or ack in self._ambiguous:
+        st = self._st
+        i = self._slot
+        ts = st.send_times[i].get(ack)
+        if ts is None or ack in st.ambiguous[i]:
             return None
         return self.sim.now - ts
 
@@ -730,21 +1003,28 @@ class TCPConnection:
         indexed; only genuinely new keys enter the heap, so heap and
         dict always hold exactly the same key set.
         """
-        if end_seq not in self._send_times:
-            heapq.heappush(self._ends_heap, end_seq)
-        self._send_times[end_seq] = now
+        st = self._st
+        i = self._slot
+        send_times = st.send_times[i]
+        if end_seq not in send_times:
+            _heappush(st.ends_heap[i], end_seq)
+        send_times[end_seq] = now
 
     def _purge_send_times(self, ack: int) -> None:
         # The heap's top is the smallest outstanding end_seq, so the
         # cumulative ACK peels covered entries in O(log n) each — the
         # seed scanned the whole dict per ACK, O(window) on every ack.
-        heap = self._ends_heap
-        send_times = self._send_times
+        st = self._st
+        i = self._slot
+        heap = st.ends_heap[i]
+        send_times = st.send_times[i]
+        ambiguous = st.ambiguous[i]
+        probe_ends = st.probe_ends[i]
         while heap and heap[0] <= ack:
-            k = heapq.heappop(heap)
+            k = _heappop(heap)
             del send_times[k]
-            self._ambiguous.discard(k)
-            self._probe_ends.discard(k)
+            ambiguous.discard(k)
+            probe_ends.discard(k)
 
     def first_unacked_send_time(self) -> Optional[float]:
         """Latest transmit time of the segment containing ``snd_una``.
@@ -757,39 +1037,51 @@ class TCPConnection:
         # top is normally already > snd_una; the lazy pop is a
         # defensive sweep that keeps the invariant even if a caller
         # moved snd_una directly.
-        heap = self._ends_heap
-        una = self.snd_una
+        st = self._st
+        i = self._slot
+        heap = st.ends_heap[i]
+        send_times = st.send_times[i]
+        una = st.snd_una[i]
         while heap and heap[0] <= una:
-            k = heapq.heappop(heap)
-            self._send_times.pop(k, None)
-            self._ambiguous.discard(k)
-            self._probe_ends.discard(k)
+            k = _heappop(heap)
+            send_times.pop(k, None)
+            st.ambiguous[i].discard(k)
+            st.probe_ends[i].discard(k)
         if not heap:
             return None
-        return self._send_times[heap[0]]
+        return send_times[heap[0]]
 
     # ------------------------------------------------------------------
     # Timers (driven by the host protocol's periodic timers)
     # ------------------------------------------------------------------
     def slow_tick(self) -> None:
-        """One 500 ms coarse-timer tick (the Figure-2 'diamond')."""
-        if self.state == State.CLOSED:
+        """One 500 ms coarse-timer tick (the Figure-2 'diamond').
+
+        On the fast path the protocol's flat array scan performs this
+        same sequence directly on the store; this method is the
+        per-object form used by the slow path, direct tests, and the
+        idle-suppression scan.
+        """
+        if self._state is State.CLOSED:
             return
-        self._trace(Kind.TIMER_CHECK,
-                    self.t_rexmt if self.t_rexmt is not None else -1)
-        if self._timing_seq is not None:
-            self._timing_ticks += 1
-        if self.t_rexmt is not None:
-            self.t_rexmt -= 1
-            if self.t_rexmt <= 0:
+        st = self._st
+        i = self._slot
+        t = st.t_rexmt[i]
+        self._trace(Kind.TIMER_CHECK, t)  # -1 sentinel == the old "unarmed"
+        if st.timing_seq[i] >= 0:
+            st.timing_ticks[i] += 1
+        if t >= 0:
+            t -= 1
+            st.t_rexmt[i] = t
+            if t <= 0:
                 self._coarse_timeout()
         self._maybe_persist_probe()
 
     def fast_tick(self) -> None:
         """One 200 ms fast-timer tick: flush a pending delayed ACK."""
-        if self.state == State.CLOSED:
+        if self._state is State.CLOSED:
             return
-        if self.recv.delack_pending:
+        if self._st.delack[self._slot]:
             self.send_ack()
 
     def needs_coarse_timers(self) -> bool:
@@ -801,36 +1093,46 @@ class TCPConnection:
         pending.  Everything else (handshake, FIN exchange, zero-window
         persist) conservatively keeps the timers running.
         """
-        return (self.state != State.ESTABLISHED
-                or self.t_rexmt is not None
-                or self.snd_nxt != self.snd_una
-                or self.sendbuf.queued_end != self.snd_nxt
+        st = self._st
+        i = self._slot
+        snd_nxt = st.snd_nxt[i]
+        return (self._state is not State.ESTABLISHED
+                or st.t_rexmt[i] >= 0
+                or snd_nxt != st.snd_una[i]
+                or self.sendbuf.queued_end != snd_nxt
                 or self.fin_pending
-                or self.recv.delack_pending)
+                or st.delack[i] != 0)
 
     def _arm_rexmt(self, force: bool = False) -> None:
-        if self.t_rexmt is None or force:
-            self.t_rexmt = self.coarse_rtt.backed_off_rto(self.rexmt_shift)
+        st = self._st
+        i = self._slot
+        if force or st.t_rexmt[i] < 0:
+            st.t_rexmt[i] = self.coarse_rtt.backed_off_rto(st.rexmt_shift[i])
 
     def _coarse_timeout(self) -> None:
+        st = self._st
+        i = self._slot
         self.stats.coarse_timeouts += 1
-        self._trace(Kind.COARSE_TIMEOUT, self.snd_una)
-        self.consecutive_timeouts += 1
-        if self.consecutive_timeouts > C.MAX_REXMT_SHIFT:
+        self._trace(Kind.COARSE_TIMEOUT, st.snd_una[i])
+        timeouts = st.consec_timeouts[i] + 1
+        st.consec_timeouts[i] = timeouts
+        if timeouts > C.MAX_REXMT_SHIFT:
             self._abort()
             return
-        self.rexmt_shift = min(self.rexmt_shift + 1, C.MAX_REXMT_SHIFT)
-        self._timing_seq = None  # Karn
-        self.dupacks = 0
+        st.rexmt_shift[i] = min(st.rexmt_shift[i] + 1, C.MAX_REXMT_SHIFT)
+        st.timing_seq[i] = -1  # Karn
+        st.dupacks[i] = 0
         self.cc.on_coarse_timeout(self.sim.now)
         self._arm_rexmt(force=True)
-        if self.state in (State.SYN_SENT, State.SYN_RCVD):
-            self._send_syn(ack=(self.state == State.SYN_RCVD))
+        state = self._state
+        if state is State.SYN_SENT or state is State.SYN_RCVD:
+            self._send_syn(ack=(state is State.SYN_RCVD))
             return
         # Go back to the first unacknowledged byte; with cwnd reset to
         # one segment, output() resends exactly one segment.
-        self.snd_nxt = self.snd_una
-        if self.snd_una >= self.sendbuf.queued_end and self.fin_sent:
+        snd_una = st.snd_una[i]
+        st.snd_nxt[i] = snd_una
+        if snd_una >= self.sendbuf.queued_end and self.fin_sent:
             self._send_fin_again()
         else:
             self.output()
@@ -838,11 +1140,11 @@ class TCPConnection:
     def _pacing_blocked(self) -> bool:
         """True when pacing defers transmission; reschedules output."""
         rate = self.cc.pacing_rate()
-        if rate is None or self.sim.now >= self._pace_next_time:
+        if rate is None or self.sim.now >= self._st.pace_next[self._slot]:
             return False
         if self._pace_event is None:
             self._pace_event = self.sim.schedule(
-                self._pace_next_time - self.sim.now, self._pace_fire)
+                self._st.pace_next[self._slot] - self.sim.now, self._pace_fire)
         return True
 
     def _pace_fire(self) -> None:
@@ -858,8 +1160,10 @@ class TCPConnection:
         rate = self.cc.pacing_rate()
         if rate is None or rate <= 0:
             return
-        base = max(self._pace_next_time, self.sim.now)
-        self._pace_next_time = base + length / rate
+        st = self._st
+        i = self._slot
+        base = max(st.pace_next[i], self.sim.now)
+        st.pace_next[i] = base + length / rate
 
     def _abort(self) -> None:
         """Give up after too many fruitless retransmissions (BSD-style)."""
@@ -867,7 +1171,7 @@ class TCPConnection:
         self.state = State.CLOSED
         self.t_rexmt = None
         self.stats.close_time = self.sim.now
-        self._trace(Kind.STATE, self.state.value)
+        self._trace(Kind.STATE, self._state.value)
         self.protocol.connection_closed(self)
         if self.on_closed is not None:
             self.on_closed(self)
@@ -882,25 +1186,35 @@ class TCPConnection:
         persist (window opened, or nothing left to send) resets the
         backoff so the next stall starts probing promptly again.
         """
-        if (self.state not in (State.ESTABLISHED, State.CLOSING)
-                or self.peer_wnd != 0 or self.unsent_bytes() <= 0):
-            self._persist_shift = 0
-            self._persist_countdown = 0
+        st = self._st
+        i = self._slot
+        state = self._state
+        if ((state is not State.ESTABLISHED and state is not State.CLOSING)
+                or st.peer_wnd[i] != 0
+                or self.sendbuf.queued_end - st.snd_nxt[i] <= 0):
+            st.persist_shift[i] = 0
+            st.persist_countdown[i] = 0
             return
-        if self.flight_size() > 0:
+        if st.snd_nxt[i] - st.snd_una[i] > 0:
             # An earlier probe (or data) is still unacknowledged; the
             # retransmit machinery owns it.  Backoff state is kept.
             return
-        if self._persist_countdown > 0:
-            self._persist_countdown -= 1
+        if st.persist_countdown[i] > 0:
+            st.persist_countdown[i] -= 1
             return
-        seq = self.snd_nxt
+        self._persist_fire()
+
+    def _persist_fire(self) -> None:
+        """Send one zero-window probe and back its interval off."""
+        st = self._st
+        i = self._slot
+        seq = st.snd_nxt[i]
         self.stats.persist_probes += 1
-        self._trace(Kind.PROBE, seq, self._persist_shift)
+        self._trace(Kind.PROBE, seq, st.persist_shift[i])
         self._send_data_segment(seq, 1, probe=True)
-        self._persist_countdown = min(1 << self._persist_shift,
+        st.persist_countdown[i] = min(1 << st.persist_shift[i],
                                       C.MAX_PERSIST_TICKS)
-        self._persist_shift = min(self._persist_shift + 1,
+        st.persist_shift[i] = min(st.persist_shift[i] + 1,
                                   C.MAX_REXMT_SHIFT)
 
     # ------------------------------------------------------------------
@@ -910,6 +1224,6 @@ class TCPConnection:
         self.tracer.record(self.sim.now, kind, a, b)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
-        return (f"TCPConnection({self.flow}, {self.state.name}, "
+        return (f"TCPConnection({self.flow}, {self._state.name}, "
                 f"una={self.snd_una}, nxt={self.snd_nxt}, "
                 f"cwnd={self.cc.cwnd})")

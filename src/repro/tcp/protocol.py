@@ -23,8 +23,10 @@ from repro.net.node import Host
 from repro.net.packet import Packet
 from repro.tcp import constants as C
 from repro.tcp.connection import TCPConnection
+from repro.tcp.flatstate import store_for
 from repro.tcp.segment import TCPSegment
-from repro.trace.tracer import ConnectionTracer
+from repro.trace.records import Kind
+from repro.trace.tracer import NULL_TRACER, ConnectionTracer
 
 CCFactory = Callable[[], "object"]
 ConnKey = Tuple[int, str, int]  # (local port, remote addr, remote port)
@@ -79,6 +81,24 @@ class TCPProtocol:
             zlib.crc32(host.name.encode()))
         host.protocol_handler = self._packet_arrived
         self.connections: Dict[ConnKey, TCPConnection] = {}
+        # Open (not-yet-closed) subset of ``connections``, in the same
+        # insertion order.  The periodic timer scans iterate this dict
+        # instead of every connection ever created — a long-running
+        # host accumulates closed conversations in ``connections`` (the
+        # demux keeps them for residual-segment re-ACKs), and ticking
+        # through thousands of corpses per 200 ms fast tick used to
+        # dominate heavy-traffic runs.  Entries leave via
+        # :meth:`connection_closed`; closure is terminal, so the
+        # surviving iteration order matches the old filtered scan.
+        self._open: Dict[ConnKey, TCPConnection] = {}
+        # Shared flat-state store backing every connection of this
+        # simulator (see repro.tcp.flatstate): the periodic scans below
+        # read the timer/window columns straight out of its packed
+        # arrays.  ``None`` on the REPRO_ENGINE_SLOWPATH object path,
+        # where each connection owns a private store and the scans fall
+        # back to the per-connection methods.
+        self._flat = store_for(self.sim) if getattr(self.sim, "_fast", True) \
+            else None
         self.listeners: Dict[int, Listener] = {}
         self._next_port = 1024
         self._slow = PeriodicTimer(self.sim, slow_tick, self._slow_tick,
@@ -119,6 +139,7 @@ class TCPProtocol:
                              rcvbuf=rcvbuf, tracer=tracer, nagle=nagle,
                              delayed_acks=delayed_acks, sack=sack, ecn=ecn)
         self.connections[key] = conn
+        self._open[key] = conn
         self._ensure_timers()
         conn.open_active()
         return conn
@@ -209,6 +230,7 @@ class TCPProtocol:
         conn = TCPConnection(self, flow, listener.cc_factory(),
                              **listener.options)
         self.connections[key] = conn
+        self._open[key] = conn
         listener.accepted += 1
         self._ensure_timers()
         if listener.on_accept is not None:
@@ -231,16 +253,75 @@ class TCPProtocol:
             self._ensure_timers()
 
     def _slow_tick(self) -> None:
-        active = False
+        if self._flat is None or self.idle_timer_suppression:
+            self._slow_tick_objects()
+            return
+        # Flat scan: the per-connection slow_tick() sequence performed
+        # directly on the shared store's columns.  Calls back into the
+        # connection only for the rare events (timeout fired, persist
+        # probe due); the per-tick common case touches a handful of
+        # array cells per open connection.
+        st = self._flat
+        state_code = st.state_code
+        t_rexmt = st.t_rexmt
+        timing_seq = st.timing_seq
+        timing_ticks = st.timing_ticks
+        peer_wnd = st.peer_wnd
+        snd_nxt = st.snd_nxt
+        snd_una = st.snd_una
+        persist_shift = st.persist_shift
+        persist_countdown = st.persist_countdown
+        now = self.sim.now
+        timer_check = Kind.TIMER_CHECK
+        for conn in list(self._open.values()):
+            i = conn._slot
+            # A connection ticked earlier in this scan may have closed
+            # a later one (e.g. an abort tearing down its peer):
+            # CLOSED (code 0) slots are skipped, exactly as the
+            # per-object tick returns immediately for them.
+            if state_code[i] == 0:
+                continue
+            t = t_rexmt[i]
+            tracer = conn.tracer
+            if tracer is not NULL_TRACER:
+                tracer.record(now, timer_check, t)  # -1 == "unarmed"
+            if timing_seq[i] >= 0:
+                timing_ticks[i] += 1
+            if t >= 0:
+                t -= 1
+                t_rexmt[i] = t
+                if t <= 0:
+                    conn._coarse_timeout()
+            # Zero-window persist (the _maybe_persist_probe sequence;
+            # state re-read because a timeout above may have closed or
+            # aborted the connection mid-tick).
+            sc = state_code[i]
+            if ((sc != 3 and sc != 4)  # ESTABLISHED / CLOSING
+                    or peer_wnd[i] != 0
+                    or conn.sendbuf.queued_end - snd_nxt[i] <= 0):
+                persist_shift[i] = 0
+                persist_countdown[i] = 0
+            elif snd_nxt[i] - snd_una[i] > 0:
+                pass  # probe or data already outstanding
+            elif persist_countdown[i] > 0:
+                persist_countdown[i] -= 1
+            else:
+                conn._persist_fire()
+        if not self._open:
+            self._stop_timers()
+
+    def _slow_tick_objects(self) -> None:
+        """Per-object slow-timer scan (slow path and idle suppression)."""
         idle = True
-        for conn in list(self.connections.values()):
+        for conn in list(self._open.values()):
+            # A connection ticked earlier in this scan may have closed
+            # a later one (e.g. an abort tearing down its peer), so
+            # each snapshot entry is re-checked before ticking.
             if not conn.is_closed:
                 conn.slow_tick()
-                if not conn.is_closed:
-                    active = True
-                    if idle and conn.needs_coarse_timers():
-                        idle = False
-        if not active:
+                if idle and not conn.is_closed and conn.needs_coarse_timers():
+                    idle = False
+        if not self._open:
             self._stop_timers()
         elif idle and self.idle_timer_suppression:
             # Every connection is quiescent: park both timers instead
@@ -250,9 +331,17 @@ class TCPProtocol:
             self._suppress_timers()
 
     def _fast_tick(self) -> None:
-        for conn in list(self.connections.values()):
-            if not conn.is_closed:
-                conn.fast_tick()
+        if self._flat is None:
+            for conn in list(self._open.values()):
+                if not conn.is_closed:
+                    conn.fast_tick()
+            return
+        state_code = self._flat.state_code
+        delack = self._flat.delack
+        for conn in list(self._open.values()):
+            i = conn._slot
+            if state_code[i] != 0 and delack[i]:
+                conn.send_ack()
 
     def _stop_timers(self) -> None:
         self._suppressed = False
@@ -266,7 +355,10 @@ class TCPProtocol:
 
     def connection_closed(self, conn: TCPConnection) -> None:
         """Hook called by connections reaching CLOSED; stops timers when idle."""
-        if all(c.is_closed for c in self.connections.values()):
+        flow = conn.flow
+        self._open.pop((flow.local_port, flow.remote_addr, flow.remote_port),
+                       None)
+        if not self._open:
             self._stop_timers()
 
     # ------------------------------------------------------------------

@@ -51,7 +51,7 @@ class TCPSegment:
         self.ack = ack
         self.flags = flags
         self.wnd = wnd
-        self.sack = tuple(sack)
+        self.sack = sack if type(sack) is tuple else tuple(sack)
 
     # ------------------------------------------------------------------
     # Flag helpers

@@ -126,7 +126,7 @@ class TelnetConversation(Conversation):
 
     def _schedule_keystroke(self) -> None:
         delay = self.rng.expovariate(1.0 / self.params.think_mean)
-        self.sim.schedule(delay, self._send_keystroke)
+        self.sim.schedule_anon(delay, self._send_keystroke)
 
     def _send_keystroke(self) -> None:
         if self.conn is None or self.conn.fin_sent or self.conn.is_closed:
@@ -181,8 +181,8 @@ class FtpConversation(Conversation):
         def _item_done() -> None:
             data.close()
             if self._item_index < self.params.items:
-                self.sim.schedule(self.rng.uniform(0.1, 1.0),
-                                  self._request_next_item)
+                self.sim.schedule_anon(self.rng.uniform(0.1, 1.0),
+                                       self._request_next_item)
             else:
                 if self.control is not None:
                     self.control.close()
@@ -238,8 +238,8 @@ class NntpConversation(Conversation):
         self._index += 1
         self.bytes_offered += size
         _Pusher(self.conn, size,
-                lambda: self.sim.schedule(self.rng.uniform(0.05, 0.5),
-                                          self._next_article))
+                lambda: self.sim.schedule_anon(self.rng.uniform(0.05, 0.5),
+                                               self._next_article))
 
 
 #: Conversation type name -> class.

@@ -112,11 +112,41 @@ class TrafficGenerator:
         self._running = True
         delay = (initial_delay if initial_delay is not None
                  else self.rng.expovariate(1.0 / self.arrival_mean))
-        self.sim.schedule(delay, self._launch_one)
+        self.sim.schedule_anon(delay, self._launch_one)
+
+    def start_prescheduled(self, initial_delay: float = 0.0) -> int:
+        """Schedule the entire arrival process up front.
+
+        Draws all ``max_conversations`` interarrival gaps now and
+        schedules one launch event per conversation, instead of
+        chaining each arrival off the previous one.  Used by the
+        many-flows scaling family: the pre-scheduled start times are
+        the far-future event population the engine's calendar
+        scheduler is built for.  Requires ``max_conversations``;
+        returns the number of launches scheduled.  The RNG draw order
+        differs from chained :meth:`start`, so the two modes are
+        distinct (deterministic) processes.
+        """
+        if self.max_conversations is None:
+            raise ValueError("start_prescheduled requires max_conversations")
+        self._running = True
+        at = initial_delay
+        scheduled = 0
+        for _ in range(self.max_conversations):
+            if self.stop_at is not None and at >= self.stop_at:
+                break
+            self.sim.schedule_anon(at, self._launch_scheduled)
+            scheduled += 1
+            at += self.rng.expovariate(1.0 / self.arrival_mean)
+        return scheduled
 
     def stop(self) -> None:
         """Stop launching new conversations."""
         self._running = False
+
+    def _launch_scheduled(self) -> None:
+        if self._running:
+            self._start_conversation()
 
     def _launch_one(self) -> None:
         if not self._running:
@@ -128,6 +158,11 @@ class TrafficGenerator:
                 and len(self.conversations) >= self.max_conversations):
             self._running = False
             return
+        self._start_conversation()
+        self.sim.schedule_anon(self.rng.expovariate(1.0 / self.arrival_mean),
+                               self._launch_one)
+
+    def _start_conversation(self) -> None:
         kind = weighted_choice(self.rng, self.mix)
         conv_cls = CONVERSATION_TYPES[kind]
         conv = conv_cls(self.client, self.server_addr, self.rng,
@@ -135,8 +170,6 @@ class TrafficGenerator:
         self.conversations.append(conv)
         self.started_by_type[kind] += 1
         conv.start()
-        self.sim.schedule(self.rng.expovariate(1.0 / self.arrival_mean),
-                          self._launch_one)
 
     # ------------------------------------------------------------------
     # Statistics (Table 3 / Figure 9 / §6)

@@ -1,0 +1,243 @@
+"""Property-based engine differential: fast path ≡ slowpath.
+
+The optimized dispatch machinery — tuple heap, inline link-layer
+pushes, the far-horizon calendar wheel, the hook-free run loops — must
+be *bit-identical* in observable behaviour to the pre-optimization
+object engine kept alive behind ``REPRO_ENGINE_SLOWPATH``.  This suite
+is the property-level half of that gate (the 66-cell quick sweep vs
+``baselines/expected.json`` is the other): Hypothesis drives random
+scenarios through three engine configurations in-process — the env
+vars are read at :class:`Simulator` construction, so no subprocesses
+are needed — and asserts identical fingerprints:
+
+* ``fast``      — the default engine, wheel at its stock threshold;
+* ``wheel``     — ``REPRO_WHEEL_THRESHOLD=0``: every far event parks,
+  exercising epoch advancement and bucket merges constantly;
+* ``slowpath``  — the object heap, fresh allocation per event.
+
+``far_events_peak`` is deliberately excluded from every fingerprint:
+the slow path never parks events, so wheel occupancy is the one
+counter allowed to differ by design.
+
+Three scenario families:
+
+1. **Event soups** — random nested scheduling programs mixing
+   ``schedule`` / ``schedule_anon`` / ``schedule_at`` and handle
+   cancellations, with near and far-horizon delays.  Pure scheduler
+   differential, no protocol stack.
+2. **Traced solo transfers** — one bulk transfer with a
+   :class:`ConnectionTracer` attached, under a random fault profile;
+   every tracer row must match exactly.
+3. **Many-flows populations** — 2–64 tcplib conversations over the
+   Figure-5 bottleneck (the tentpole workload), random seeds and
+   fault profiles, compared down to per-connection final stats.
+"""
+
+import contextlib
+import os
+import random as pyrandom
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.sim.engine import (SLOWPATH_ENV, WHEEL_THRESHOLD_ENV,
+                              WHEEL_WIDTH_ENV, Simulator, last_simulator)
+
+#: The engine configurations every scenario is replayed under.
+MODES = {
+    "fast": {},
+    "wheel": {WHEEL_THRESHOLD_ENV: "0", WHEEL_WIDTH_ENV: "0.25"},
+    "slowpath": {SLOWPATH_ENV: "1"},
+}
+
+_ENGINE_KEYS = (SLOWPATH_ENV, WHEEL_THRESHOLD_ENV, WHEEL_WIDTH_ENV)
+
+#: Fault profiles drawn per example (None = clean network).
+FAULT_PROFILES = (None, "light", "heavy", "flap")
+
+
+@contextlib.contextmanager
+def _engine_env(extra):
+    """Run a block under exactly the engine env vars in *extra*."""
+    saved = {key: os.environ.pop(key, None) for key in _ENGINE_KEYS}
+    os.environ.update(extra)
+    try:
+        yield
+    finally:
+        for key in _ENGINE_KEYS:
+            os.environ.pop(key, None)
+            if saved[key] is not None:
+                os.environ[key] = saved[key]
+
+
+def _replay(fingerprint_fn):
+    """Run *fingerprint_fn* under every mode; assert all agree."""
+    prints = {}
+    for mode, env in MODES.items():
+        with _engine_env(env):
+            prints[mode] = fingerprint_fn()
+    assert prints["fast"] == prints["slowpath"], \
+        "fast path diverged from slowpath"
+    assert prints["wheel"] == prints["slowpath"], \
+        "forced calendar wheel diverged from slowpath"
+
+
+class TestEventSoupOrder:
+    """Random scheduling programs fire in identical order everywhere."""
+
+    @staticmethod
+    def _run_soup(program_seed: int, seeds: int, budget: int):
+        sim = Simulator()
+        rng = pyrandom.Random(program_seed)
+        fired = []
+        live = {}          # handle id -> Event, removed when it fires
+        remaining = [budget]
+        next_id = [0]
+
+        def fire(tag, hid=None):
+            if hid is not None:
+                live.pop(hid, None)
+            fired.append((sim.now, tag))
+            if remaining[0] <= 0:
+                return
+            remaining[0] -= 1
+            # Mix of near-term and far-horizon delays so the forced
+            # wheel parks constantly while the heap still churns.
+            delay = rng.random() * (20.0 if rng.random() < 0.3 else 0.05)
+            kind = rng.randrange(3)
+            tag = rng.randrange(10_000)
+            if kind == 0:
+                sim.schedule_anon(delay, fire, tag)
+            elif kind == 1:
+                hid = next_id[0] = next_id[0] + 1
+                live[hid] = sim.schedule(delay, fire, tag, hid)
+            else:
+                hid = next_id[0] = next_id[0] + 1
+                live[hid] = sim.schedule_at(sim.now + delay, fire, tag, hid)
+            # Occasionally cancel a random still-pending handle (a
+            # handle is only valid until it fires — `live` tracks
+            # exactly that window).
+            if live and rng.random() < 0.25:
+                keys = list(live)
+                sim.cancel(live.pop(keys[rng.randrange(len(keys))]))
+
+        for _ in range(seeds):
+            fire(rng.randrange(10_000))
+        sim.run()
+        return sim.events_processed, tuple(fired)
+
+    @settings(max_examples=40, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(program_seed=st.integers(0, 2**32 - 1),
+           seeds=st.integers(1, 12),
+           budget=st.integers(0, 300))
+    def test_dispatch_order_identical(self, program_seed, seeds, budget):
+        _replay(lambda: self._run_soup(program_seed, seeds, budget))
+
+
+class TestTracedTransferDifferential:
+    """A traced bulk transfer leaves identical rows on every path."""
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(seed=st.integers(0, 2**16),
+           cc=st.sampled_from(("reno", "vegas-1,3")),
+           faults=st.sampled_from(FAULT_PROFILES))
+    def test_tracer_rows_identical(self, seed, cc, faults):
+        from repro.experiments.transfers import run_solo_transfer
+        from repro.faults import injecting
+        from repro.trace.tracer import ConnectionTracer
+        from repro.units import kb
+
+        def fingerprint():
+            tracer = ConnectionTracer("diff")
+            ctx = injecting(faults) if faults else contextlib.nullcontext()
+            with ctx:
+                result = run_solo_transfer(cc, size=kb(64), buffers=10,
+                                           seed=seed, tracer=tracer)
+            return (last_simulator().events_processed,
+                    tuple(tracer.rows()),
+                    result.throughput_kbps,
+                    result.retransmitted_kb,
+                    result.coarse_timeouts)
+
+        _replay(fingerprint)
+
+
+class TestManyFlowsDifferential:
+    """2–64 tcplib conversations: identical down to per-flow stats."""
+
+    @staticmethod
+    def _population_fingerprint(flows: int, seed: int, cc: str,
+                                faults):
+        from repro.experiments.figure5 import build_figure5
+        from repro.experiments.many_flows import HOST_PAIRS
+        from repro.experiments.transfers import resolve_cc
+        from repro.faults import injecting
+        from repro.trafficgen import TrafficGenerator, TrafficServer
+
+        ctx = injecting(faults) if faults else contextlib.nullcontext()
+        with ctx:
+            net = build_figure5(buffers=10, seed=seed)
+            factory = resolve_cc(cc)
+            share, extra = divmod(flows, len(HOST_PAIRS))
+            generators = []
+            for idx, (src, dst) in enumerate(HOST_PAIRS):
+                quota = share + (1 if idx < extra else 0)
+                if quota == 0:
+                    continue
+                rng = pyrandom.Random(
+                    net.rng.stream(f"engine-diff-{idx}").random())
+                TrafficServer(net.protocol(dst), rng, factory)
+                gen = TrafficGenerator(net.protocol(src), dst, rng, factory,
+                                       arrival_mean=1.5 / quota,
+                                       max_conversations=quota)
+                gen.start_prescheduled(0.0)
+                generators.append(gen)
+            net.sim.run(until=4.0)
+            for gen in generators:
+                gen.stop()
+
+        per_conn = []
+        for gen in generators:
+            for conv in gen.conversations:
+                for conn in conv.connections:
+                    stats = conn.stats
+                    per_conn.append((
+                        conv.kind, conv.finished,
+                        conn.snd_una, conn.snd_nxt,
+                        stats.app_bytes_acked, stats.retransmitted_bytes,
+                        stats.fast_retransmits, stats.fine_retransmits,
+                        stats.rtt_samples, stats.rtt_min,
+                        stats.last_ack_time,
+                    ))
+        return net.sim.events_processed, net.sim.now, tuple(per_conn)
+
+    @settings(max_examples=8, deadline=None,
+              suppress_health_check=[HealthCheck.too_slow])
+    @given(flows=st.integers(2, 64),
+           seed=st.integers(0, 2**16),
+           cc=st.sampled_from(("reno", "vegas-1,3")),
+           faults=st.sampled_from(FAULT_PROFILES))
+    def test_population_identical(self, flows, seed, cc, faults):
+        _replay(lambda: self._population_fingerprint(flows, seed, cc,
+                                                     faults))
+
+    def test_thousand_flow_cell_matches_slowpath(self):
+        """The headline 1,000-flow bench cell, once, fast vs slowpath.
+
+        Too heavy for a Hypothesis example but exactly the population
+        the calendar wheel exists for, so pin it explicitly.  The
+        ``far_events_peak`` field is stripped: the slow path never
+        parks events.
+        """
+        from repro.experiments.many_flows import many_flows_metrics
+
+        def fingerprint():
+            metrics = dict(many_flows_metrics(1000, 0))
+            metrics.pop("far_events_peak")
+            metrics["events"] = last_simulator().events_processed
+            return metrics
+
+        _replay(fingerprint)

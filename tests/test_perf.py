@@ -321,25 +321,58 @@ class TestBenchCompare:
 
 class TestBenchCellDeterminism:
     def test_nondeterministic_counters_raise(self, monkeypatch):
+        # The bench protocol reads the event count off the production
+        # run's simulator after every timed round; any drift from the
+        # warmup round must abort the cell.
         from repro.perf import bench
 
-        counters = iter([(100, 5), (101, 5)])
+        counts = iter([100, 101, 100])
 
-        class FlakyProbe(PerfProbe):
-            def __init__(self):
-                super().__init__()
-                self.events, self.peak_heap = next(counters)
-                self.phases = {"run": 0.01}
+        class _FlakySim:
+            @property
+            def events_processed(self):
+                return next(counts)
 
-        monkeypatch.setattr(bench, "PerfProbe", FlakyProbe, raising=False)
-        monkeypatch.setattr("repro.perf.counters.PerfProbe", FlakyProbe)
-        descriptor = {"name": "flaky",
-                      "cell": _NullCell()}
+        sim = _FlakySim()
+        monkeypatch.setattr("repro.sim.engine.last_simulator", lambda: sim)
         monkeypatch.setattr("repro.harness.registry.run_cell",
                             lambda cell, checks=False, faults=None: {})
+        descriptor = {"name": "flaky",
+                      "cell": _NullCell()}
         with pytest.raises(ReproError, match="nondeterministic"):
             bench.run_bench_cell(descriptor, rounds=2)
 
 
 class _NullCell:
     experiment = "null"
+
+
+class TestBenchCellSelection:
+    def test_none_selects_whole_suite(self):
+        from repro.perf import bench
+
+        assert ([d["name"] for d in bench.select_cells(None)]
+                == [d["name"] for d in bench.bench_suite()])
+
+    def test_selection_keeps_suite_order(self):
+        from repro.perf import bench
+
+        # CLI spelling order must not leak into the artifact.
+        names = [d["name"]
+                 for d in bench.select_cells(["many_flows_100", "figure6"])]
+        assert names == ["figure6", "many_flows_100"]
+
+    def test_unknown_cell_raises(self):
+        from repro.perf import bench
+
+        with pytest.raises(ReproError, match="unknown bench cell"):
+            bench.select_cells(["figure6", "bogus"])
+
+    def test_update_baseline_refuses_slice(self, tmp_path, capsys):
+        # A partial run must never overwrite the full-suite baseline.
+        from repro.perf import bench
+
+        rc = bench.main(["--update-baseline", "--cells", "figure6",
+                         "--json", str(tmp_path / "b.json")])
+        assert rc == 2
+        assert "full suite" in capsys.readouterr().err
