@@ -18,6 +18,11 @@ Usage::
     python -m repro run-all --quick --watchdog --retries 2
     python -m repro run-all --only table4/proto=reno/seed=0 --no-timeout
     python -m repro run-all --quick --json r.json --telemetry run.jsonl
+    python -m repro run-all --quick --backend dist --workers 4
+    python -m repro dist run --quick --journal run.journal --json r.json
+    python -m repro dist run --journal run.journal --resume --json r.json
+    python -m repro dist worker --connect 127.0.0.1:7077
+    python -m repro dist journal run.journal
     python -m repro check r.json baselines/expected.json --tolerance 0.15
     python -m repro report r.json --telemetry run.jsonl
     python -m repro arena --quick --json arena.json --out league.md
@@ -280,6 +285,12 @@ def _cmd_run_all(args) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return 2
+    backend = getattr(args, "backend", "local")
+    if backend != "dist" and (getattr(args, "journal", None)
+                              or getattr(args, "resume", False)):
+        print("error: --journal/--resume require --backend dist",
+              file=sys.stderr)
+        return 2
 
     src_hash = cache_mod.compute_src_hash()
     cache = None
@@ -287,21 +298,45 @@ def _cmd_run_all(args) -> int:
         cache_dir = args.cache_dir or cache_mod.default_cache_dir()
         cache = cache_mod.ResultCache(cache_dir, src_hash)
 
+    dist_options = None
+    if backend == "dist":
+        if args.workers < 0:
+            print(f"error: --workers must be >= 0, got {args.workers}",
+                  file=sys.stderr)
+            return 2
+        dist_options = {"workers": args.workers, "journal": args.journal,
+                        "resume": args.resume, "src_hash": src_hash,
+                        "preload": args.preload,
+                        "chaos_kill_after": args.chaos_kill_after}
+        if args.bind:
+            dist_options["bind"] = args.bind
+
     total = len(cells)
     done = [0]
+    # Dist lifecycle notices (worker loss, chaos, resume/degrade
+    # banners) don't settle a cell either.
+    informational = ("worker ", "chaos:", "resume:", "warning:",
+                     "dist master")
 
     def progress(line: str) -> None:
         # Retry notices don't settle a cell; only count terminal lines
         # so the counter ends at exactly total.
-        if "retrying in" not in line:
+        if "retrying in" not in line and not line.startswith(informational):
             done[0] += 1
         print(f"[{done[0]}/{total}] {line}", file=sys.stderr)
 
-    report = runner.run_cells(cells, jobs=args.jobs, cache=cache,
-                              progress=progress, checks=args.checks,
-                              faults=faults, timeout_s=timeout_s,
-                              retries=args.retries, watchdog=args.watchdog,
-                              telemetry=args.telemetry)
+    try:
+        report = runner.run_cells(cells, jobs=args.jobs, cache=cache,
+                                  progress=progress, checks=args.checks,
+                                  faults=faults, timeout_s=timeout_s,
+                                  retries=args.retries,
+                                  watchdog=args.watchdog,
+                                  telemetry=args.telemetry,
+                                  backend=backend,
+                                  dist_options=dist_options)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     doc = artifacts.build_document(
         report, mode="quick" if args.quick else "full", src_hash=src_hash,
         telemetry=args.telemetry)
@@ -331,6 +366,15 @@ def _cmd_run_all(args) -> int:
         print(f"JSON artifact: {args.json}")
     if args.telemetry:
         print(f"telemetry: {args.telemetry}")
+    if report.interrupted:
+        settled = len(report.results) + len(report.failures)
+        print(f"\nINTERRUPTED: sweep drained with {settled}/{total} cells "
+              "settled; partial artifact and failure manifest flushed "
+              "(exit 130)")
+        if getattr(args, "journal", None):
+            print(f"resume with: repro dist run --journal {args.journal} "
+                  "--resume ...")
+        return 130
     return 3 if report.failures else 0
 
 
@@ -448,8 +492,131 @@ def _cmd_profile(args) -> int:
     return profile.main(argv)
 
 
+def _cmd_dist_worker(args) -> int:
+    from repro.harness.dist import worker as worker_mod
+
+    argv = ["--connect", args.connect, "--heartbeat", str(args.heartbeat)]
+    if args.worker_id:
+        argv.extend(["--worker-id", args.worker_id])
+    for module in args.preload:
+        argv.extend(["--preload", module])
+    return worker_mod.main(argv)
+
+
+def _cmd_dist_journal(args) -> int:
+    from repro.harness.dist import journal as journal_mod
+
+    try:
+        state = journal_mod.replay(args.journal)
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    torn = " (torn trailing line dropped)" if state.truncated else ""
+    print(f"journal: {args.journal}")
+    print(f"records: {state.records}{torn}")
+    print(f"src hash: {state.src_hash}")
+    print(f"results: {len(state.results)}")
+    print(f"quarantined: {len(state.failures)}")
+    for key, failure in sorted(state.failures.items()):
+        print(f"  {key} [{failure.get('kind')}] after "
+              f"{failure.get('attempts')} attempt(s)")
+    return 0
+
+
+def _add_sweep_options(cmd, supervisor_mod) -> None:
+    """The shared run-all/dist-run flag set (one sweep, any backend)."""
+    cmd.add_argument("--quick", action="store_true",
+                     help="reduced grids (the CI smoke configuration)")
+    cmd.add_argument("--jobs", type=int, default=None,
+                     help="worker processes (default: cpu count)")
+    cmd.add_argument("--json", metavar="PATH",
+                     help="write the sweep as a JSON artifact")
+    cmd.add_argument("--experiments", metavar="A,B,...",
+                     help="comma-separated subset (default: all)")
+    cmd.add_argument("--no-cache", action="store_true",
+                     help="ignore and do not update .repro-cache/")
+    cmd.add_argument("--cache-dir", metavar="DIR", default=None,
+                     help="cache location (default: $REPRO_CACHE_DIR "
+                          "or .repro-cache)")
+    cmd.add_argument("--checks", nargs="?", const="raise",
+                     choices=("raise", "collect"), default=False,
+                     help="run with the runtime invariant checker "
+                          "('raise' aborts a cell on the first "
+                          "violation; 'collect' records them as the "
+                          "invariant_violations metric)")
+    cmd.add_argument("--faults", metavar="SPEC", default=None,
+                     help="inject faults: a profile name "
+                          "(light/heavy/flap) or 'drop=0.01,dup=...' "
+                          "(see repro.faults.FaultPlan.parse)")
+    cmd.add_argument("--only", metavar="KEY[,KEY...]", default=None,
+                     help="run only the cells whose key equals (or is "
+                          "prefixed by) a selector — the way to "
+                          "reproduce one quarantined cell")
+    cmd.add_argument("--timeout", type=float, metavar="SECONDS",
+                     default=supervisor_mod.DEFAULT_TIMEOUT_S,
+                     help="per-cell wall-clock deadline under the "
+                          "supervised runner (default "
+                          f"{supervisor_mod.DEFAULT_TIMEOUT_S:g}s); a "
+                          "timed-out worker is killed, retried, and "
+                          "finally quarantined into the failure "
+                          "manifest; experiments with a registered "
+                          "timeout hint get the larger of the two")
+    cmd.add_argument("--no-timeout", action="store_true",
+                     help="run unsupervised in-process (no deadline, no "
+                          "quarantine) — crashes and hangs propagate "
+                          "raw, for debugging a quarantined cell")
+    cmd.add_argument("--retries", type=int, metavar="N",
+                     default=supervisor_mod.DEFAULT_RETRIES,
+                     help="re-executions of a failed cell before it is "
+                          "quarantined (default "
+                          f"{supervisor_mod.DEFAULT_RETRIES}; seeded "
+                          "deterministic backoff between attempts)")
+    cmd.add_argument("--watchdog", nargs="?", type=float,
+                     metavar="STALL_SECONDS", const=True, default=False,
+                     help="arm the simulation liveness watchdog: raise "
+                          "a typed SimulationStalled (quarantined as "
+                          "'divergence') when a cell makes zero "
+                          "connection progress for STALL_SECONDS of "
+                          "simulated time (default 30) or drains its "
+                          "event queue mid-transfer")
+    cmd.add_argument("--telemetry", metavar="PATH", default=None,
+                     help="append a structured JSONL telemetry log: "
+                          "sweep/cell spans, cache hits, retry and "
+                          "quarantine events, plus periodic engine "
+                          "gauges (cwnd/flight/queue depth); render "
+                          "it with `repro report`")
+    cmd.add_argument("--backend", choices=("local", "dist"),
+                     default="local",
+                     help="execution backend: 'local' runs cells in this "
+                          "process's pool; 'dist' runs them on the "
+                          "fault-tolerant distributed master (leases, "
+                          "heartbeats, journal + resume)")
+    cmd.add_argument("--workers", type=int, default=2, metavar="N",
+                     help="[dist] local worker processes to spawn "
+                          "(default 2; 0 = attach-only, wait for "
+                          "`repro dist worker --connect` peers)")
+    cmd.add_argument("--bind", metavar="HOST:PORT", default=None,
+                     help="[dist] master listen address "
+                          "(default 127.0.0.1 on an ephemeral port)")
+    cmd.add_argument("--journal", metavar="PATH", default=None,
+                     help="[dist] append every grant/result/failure to "
+                          "this run journal; required for --resume")
+    cmd.add_argument("--resume", action="store_true",
+                     help="[dist] replay --journal and execute only the "
+                          "cells it has not settled")
+    cmd.add_argument("--preload", action="append", default=[],
+                     metavar="MODULE",
+                     help="[dist] import MODULE in every spawned worker "
+                          "(runtime-registered experiments don't cross "
+                          "the spawn boundary otherwise)")
+    # CI fault injection: SIGKILL a busy worker after N results.
+    cmd.add_argument("--chaos-kill-after", type=int, default=None,
+                     help=argparse.SUPPRESS)
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro.harness import supervisor as supervisor_mod
+    from repro.harness.dist import protocol as protocol_mod
 
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -492,66 +659,46 @@ def build_parser() -> argparse.ArgumentParser:
     run_all = sub.add_parser(
         "run-all",
         help="run every experiment's cell grid in parallel, with caching")
-    run_all.add_argument("--quick", action="store_true",
-                         help="reduced grids (the CI smoke configuration)")
-    run_all.add_argument("--jobs", type=int, default=None,
-                         help="worker processes (default: cpu count)")
-    run_all.add_argument("--json", metavar="PATH",
-                         help="write the sweep as a JSON artifact")
-    run_all.add_argument("--experiments", metavar="A,B,...",
-                         help="comma-separated subset (default: all)")
-    run_all.add_argument("--no-cache", action="store_true",
-                         help="ignore and do not update .repro-cache/")
-    run_all.add_argument("--cache-dir", metavar="DIR", default=None,
-                         help="cache location (default: $REPRO_CACHE_DIR "
-                              "or .repro-cache)")
-    run_all.add_argument("--checks", nargs="?", const="raise",
-                         choices=("raise", "collect"), default=False,
-                         help="run with the runtime invariant checker "
-                              "('raise' aborts a cell on the first "
-                              "violation; 'collect' records them as the "
-                              "invariant_violations metric)")
-    run_all.add_argument("--faults", metavar="SPEC", default=None,
-                         help="inject faults: a profile name "
-                              "(light/heavy/flap) or 'drop=0.01,dup=...' "
-                              "(see repro.faults.FaultPlan.parse)")
-    run_all.add_argument("--only", metavar="KEY[,KEY...]", default=None,
-                         help="run only the cells whose key equals (or is "
-                              "prefixed by) a selector — the way to "
-                              "reproduce one quarantined cell")
-    run_all.add_argument("--timeout", type=float, metavar="SECONDS",
-                         default=supervisor_mod.DEFAULT_TIMEOUT_S,
-                         help="per-cell wall-clock deadline under the "
-                              "supervised runner (default "
-                              f"{supervisor_mod.DEFAULT_TIMEOUT_S:g}s); a "
-                              "timed-out worker is killed, retried, and "
-                              "finally quarantined into the failure "
-                              "manifest")
-    run_all.add_argument("--no-timeout", action="store_true",
-                         help="run unsupervised in-process (no deadline, no "
-                              "quarantine) — crashes and hangs propagate "
-                              "raw, for debugging a quarantined cell")
-    run_all.add_argument("--retries", type=int, metavar="N",
-                         default=supervisor_mod.DEFAULT_RETRIES,
-                         help="re-executions of a failed cell before it is "
-                              "quarantined (default "
-                              f"{supervisor_mod.DEFAULT_RETRIES}; seeded "
-                              "deterministic backoff between attempts)")
-    run_all.add_argument("--watchdog", nargs="?", type=float,
-                         metavar="STALL_SECONDS", const=True, default=False,
-                         help="arm the simulation liveness watchdog: raise "
-                              "a typed SimulationStalled (quarantined as "
-                              "'divergence') when a cell makes zero "
-                              "connection progress for STALL_SECONDS of "
-                              "simulated time (default 30) or drains its "
-                              "event queue mid-transfer")
-    run_all.add_argument("--telemetry", metavar="PATH", default=None,
-                         help="append a structured JSONL telemetry log: "
-                              "sweep/cell spans, cache hits, retry and "
-                              "quarantine events, plus periodic engine "
-                              "gauges (cwnd/flight/queue depth); render "
-                              "it with `repro report`")
+    _add_sweep_options(run_all, supervisor_mod)
     run_all.set_defaults(fn=_cmd_run_all)
+
+    dist_cmd = sub.add_parser(
+        "dist",
+        help="distributed sweep backend: run a sweep across worker "
+             "processes, attach a worker, or inspect a run journal")
+    dist_sub = dist_cmd.add_subparsers(dest="dist_command", required=True)
+    dist_run = dist_sub.add_parser(
+        "run",
+        help="run-all on the distributed backend "
+             "(shorthand for `run-all --backend dist`)")
+    _add_sweep_options(dist_run, supervisor_mod)
+    dist_run.set_defaults(fn=_cmd_run_all, backend="dist")
+    dist_worker = dist_sub.add_parser(
+        "worker",
+        help="attach one worker process to a listening dist master")
+    dist_worker.add_argument("--connect", required=True,
+                             metavar="HOST:PORT",
+                             help="master address (a `dist run --workers 0 "
+                                  "--bind ...` master prints it)")
+    dist_worker.add_argument("--worker-id", default=None,
+                             help="identity announced to the master "
+                                  "(default: pid-derived)")
+    dist_worker.add_argument(
+        "--heartbeat", type=float, metavar="SECONDS",
+        default=protocol_mod.DEFAULT_HEARTBEAT_INTERVAL_S,
+        help="heartbeat interval (default "
+             f"{protocol_mod.DEFAULT_HEARTBEAT_INTERVAL_S:g}s)")
+    dist_worker.add_argument("--preload", action="append", default=[],
+                             metavar="MODULE",
+                             help="import MODULE before serving")
+    dist_worker.set_defaults(fn=_cmd_dist_worker)
+    dist_journal = dist_sub.add_parser(
+        "journal",
+        help="summarize a dist run journal: settled results, "
+             "quarantines, resumability")
+    dist_journal.add_argument("journal", help="journal file from "
+                                              "`dist run --journal`")
+    dist_journal.set_defaults(fn=_cmd_dist_journal)
 
     from repro.arena import command as arena_command
 

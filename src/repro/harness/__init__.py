@@ -21,6 +21,9 @@ through one pipeline:
   ``src/repro``, so unchanged code never re-simulates.
 - :mod:`repro.harness.artifacts` — schema-versioned JSON documents of
   every cell's metrics.
+- :mod:`repro.harness.dist` — the fault-tolerant distributed backend:
+  lease-based work assignment over worker processes, heartbeats,
+  journal + resume, graceful degradation to the local pool.
 - :mod:`repro.harness.check` — the regression gate CI runs against
   ``baselines/expected.json``.
 - :mod:`repro.harness.aggregate` — re-assembles cells into the
@@ -40,15 +43,19 @@ from repro.harness.cache import ResultCache, compute_src_hash
 from repro.harness.registry import (
     Cell,
     all_cells,
+    cell_budget,
     cells_for,
     register_experiment,
+    register_timeout_hint,
     run_cell,
+    timeout_hint,
     unregister_experiment,
 )
 from repro.harness.runner import CellResult, RunReport, run_cells
 from repro.harness.supervisor import (
     FAILURE_KINDS,
     FailureRecord,
+    SuccessRecord,
     retry_backoff,
     run_supervised,
 )
@@ -61,17 +68,21 @@ __all__ = [
     "FailureRecord",
     "ResultCache",
     "RunReport",
+    "SuccessRecord",
     "all_cells",
     "build_document",
+    "cell_budget",
     "cells_fingerprint",
     "cells_for",
     "compute_src_hash",
     "load_document",
     "register_experiment",
+    "register_timeout_hint",
     "retry_backoff",
     "run_cell",
     "run_cells",
     "run_supervised",
+    "timeout_hint",
     "unregister_experiment",
     "write_document",
 ]

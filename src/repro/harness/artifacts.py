@@ -4,8 +4,10 @@ The artifact is the machine-readable record of a sweep: one entry per
 cell with its parameters and metrics, plus run metadata (job count,
 cache accounting, wall clock).  Determinism contract: for the same
 source tree and cells, the ``cells`` array is byte-identical across
-``--jobs`` settings and across cached/uncached runs **except** for the
-``wall_clock_s`` and ``cached`` bookkeeping fields, which is why
+``--jobs`` settings, across cached/uncached runs, **and across
+execution backends** (local pool vs the distributed master) except for
+the ``wall_clock_s``/``cached`` bookkeeping and the v3 provenance
+fields (``worker``/``attempts``/``attempt_log``), which is why
 :func:`cells_fingerprint` — the hash CI compares — covers only the
 deterministic fields.
 
@@ -27,12 +29,16 @@ from repro.errors import ReproError
 
 #: Bump on any change to the document layout or cell key format.
 #: v2 added the ``failures`` section (the supervised runner's
-#: quarantine manifest); v1 documents are still readable — they simply
-#: predate supervision and carry no failures.
-SCHEMA_VERSION = "repro-harness/v2"
+#: quarantine manifest); v3 adds per-cell execution provenance —
+#: ``worker`` (the executing distributed worker, ``null`` locally),
+#: ``attempts`` and ``attempt_log`` (retry history) — plus the run's
+#: ``backend`` and ``interrupted`` markers.  Older documents are still
+#: readable; they simply predate those fields.
+SCHEMA_VERSION = "repro-harness/v3"
 
 #: Versions :func:`load_document` accepts.
-COMPATIBLE_VERSIONS = ("repro-harness/v1", "repro-harness/v2")
+COMPATIBLE_VERSIONS = ("repro-harness/v1", "repro-harness/v2",
+                       "repro-harness/v3")
 
 
 def build_document(report, mode: str, src_hash: str,
@@ -52,6 +58,9 @@ def build_document(report, mode: str, src_hash: str,
             "metrics": dict(sorted(result.metrics.items())),
             "wall_clock_s": result.wall_clock_s,
             "cached": result.cached,
+            "worker": getattr(result, "worker", None),
+            "attempts": getattr(result, "attempts", 1),
+            "attempt_log": list(getattr(result, "attempt_log", ()) or ()),
         })
     failures = [f.as_dict() for f in
                 sorted(getattr(report, "failures", ()) or (),
@@ -62,6 +71,8 @@ def build_document(report, mode: str, src_hash: str,
         "src_hash": src_hash,
         "run": {
             "jobs": report.jobs,
+            "backend": getattr(report, "backend", "local"),
+            "interrupted": getattr(report, "interrupted", False),
             "cache_hits": report.cache_hits,
             "cache_misses": report.cache_misses,
             "cells": len(cells),

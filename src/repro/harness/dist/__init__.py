@@ -1,0 +1,44 @@
+"""Fault-tolerant distributed sweep backend.
+
+The ``dist`` backend shards a sweep's cells across worker processes —
+spawned locally by the master or attached over a socket — with
+robustness as the design driver rather than raw throughput:
+
+* :mod:`~repro.harness.dist.protocol` — the newline-delimited JSON
+  wire format (versioned; ``hello``/``heartbeat``/``grant``/``result``/
+  ``fail``/``shutdown``);
+* :mod:`~repro.harness.dist.lease` — lease-based work assignment:
+  deadlines per cell (timeout hints included), expiry re-queue with
+  seeded backoff, stale-result rejection, ``worker-lost`` revocation;
+* :mod:`~repro.harness.dist.journal` — the append-only run journal
+  behind ``--resume``;
+* :mod:`~repro.harness.dist.master` — the asyncio master
+  (:func:`~repro.harness.dist.master.run_distributed`);
+* :mod:`~repro.harness.dist.worker` — the expendable worker process;
+* :mod:`~repro.harness.dist.chaos` — adversarial cells used by the
+  failure-mode tests and the CI smoke job.
+
+Entry points: ``python -m repro run-all --backend dist --workers N``
+(or ``python -m repro dist run``), and ``python -m repro dist worker
+--connect HOST:PORT`` to attach extra workers to a listening master.
+"""
+
+from repro.harness.dist.journal import JournalState, RunJournal, replay
+from repro.harness.dist.lease import DistTask, Lease, LeaseTable
+from repro.harness.dist.master import run_distributed
+from repro.harness.dist.protocol import (
+    PROTOCOL_VERSION,
+    ProtocolError,
+)
+
+__all__ = [
+    "DistTask",
+    "JournalState",
+    "Lease",
+    "LeaseTable",
+    "PROTOCOL_VERSION",
+    "ProtocolError",
+    "RunJournal",
+    "replay",
+    "run_distributed",
+]

@@ -425,6 +425,62 @@ def family_cells(name: str, **selection: Any) -> List[Cell]:
     return generator(**selection)
 
 
+# ----------------------------------------------------------------------
+# Per-cell timeout hints: experiments whose cells need more wall clock
+# than the global supervised deadline declare their own budget here, so
+# a nightly sweep never needs a global ``--timeout`` bump just because
+# one family is slow — and the distributed master sizes leases per cell.
+# ----------------------------------------------------------------------
+
+#: experiment -> float seconds, or callable(params dict) -> seconds.
+_TIMEOUT_HINTS: Dict[str, Any] = {}
+
+
+def register_timeout_hint(experiment: str, hint: Any) -> None:
+    """Declare a per-cell wall-clock budget for one experiment.
+
+    *hint* is either a float (seconds) or a callable taking the cell's
+    params dict and returning seconds — e.g. ``many_flows`` scales its
+    budget with the flow count.  Hints only ever *raise* the effective
+    deadline (see :func:`cell_budget`); they can never shrink it below
+    the sweep-wide timeout.  Re-registering replaces the prior hint.
+    """
+    _TIMEOUT_HINTS[experiment] = hint
+
+
+def timeout_hint(cell: Cell) -> Optional[float]:
+    """The declared budget of *cell* in seconds, or ``None``."""
+    hint = _TIMEOUT_HINTS.get(cell.experiment)
+    if hint is None:
+        return None
+    value = hint(cell.as_dict()) if callable(hint) else hint
+    return float(value) if value is not None else None
+
+
+def cell_budget(cell: Cell,
+                timeout_s: Optional[float]) -> Optional[float]:
+    """Effective supervised deadline for *cell*.
+
+    ``None`` (unsupervised / no deadline) passes through.  Otherwise
+    the budget is the *larger* of the sweep-wide ``timeout_s`` and the
+    cell's registered hint: a hint widens slow families without letting
+    a forgotten registration silently shrink anyone's deadline.
+    """
+    if timeout_s is None:
+        return None
+    hint = timeout_hint(cell)
+    if hint is None:
+        return timeout_s
+    return max(timeout_s, hint)
+
+
+# The 500/1,000-conversation cells legitimately run for minutes; size
+# their deadline with the population instead of bumping every sweep's
+# global timeout (quick cells keep the tight default).
+register_timeout_hint(
+    "many_flows", lambda params: max(180.0, 1.2 * params.get("flows", 0)))
+
+
 def register_experiment(name: str,
                         runner: Callable[..., Dict[str, float]],
                         grid: Optional[Callable[[bool], List[Cell]]] = None,
@@ -453,6 +509,7 @@ def unregister_experiment(name: str) -> None:
     if name in _BUILTIN_EXPERIMENTS:
         raise ReproError(f"cannot unregister built-in experiment {name!r}")
     _RUNNERS.pop(name, None)
+    _TIMEOUT_HINTS.pop(name, None)
     if _GRIDS.pop(name, None) is not None:
         EXPERIMENTS = tuple(_GRIDS)
 

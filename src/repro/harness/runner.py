@@ -28,12 +28,21 @@ from repro.harness.supervisor import (
 
 @dataclass
 class CellResult:
-    """One executed (or cache-served) cell."""
+    """One executed (or cache-served) cell.
+
+    ``worker`` names the executing worker (distributed backend only),
+    ``attempts`` counts executions including the successful one, and
+    ``attempt_log`` carries any failed attempts that preceded it —
+    together the provenance fields of artifact schema v3.
+    """
 
     cell: Cell
     metrics: Dict[str, float]
     wall_clock_s: float
     cached: bool = False
+    worker: Optional[str] = None
+    attempts: int = 1
+    attempt_log: List[Dict[str, Any]] = field(default_factory=list)
 
     @property
     def key(self) -> str:
@@ -46,7 +55,9 @@ class RunReport:
 
     ``failures`` is the failure manifest: cells the supervised runner
     quarantined after exhausting their retries.  Every requested cell
-    lands in exactly one of ``results``/``failures``.
+    lands in exactly one of ``results``/``failures`` — unless
+    ``interrupted`` is set, in which case cells that never settled
+    before the drain appear in neither.
     """
 
     results: List[CellResult] = field(default_factory=list)
@@ -55,6 +66,8 @@ class RunReport:
     cache_misses: int = 0
     jobs: int = 1
     elapsed_s: float = 0.0
+    interrupted: bool = False
+    backend: str = "local"
 
     @property
     def hit_rate(self) -> float:
@@ -132,7 +145,9 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
               retries: int = DEFAULT_RETRIES,
               backoff_base: float = DEFAULT_BACKOFF_BASE,
               watchdog: Any = False,
-              telemetry: Optional[str] = None) -> RunReport:
+              telemetry: Optional[str] = None,
+              backend: str = "local",
+              dist_options: Optional[Dict[str, Any]] = None) -> RunReport:
     """Execute *cells*, serving from *cache* where possible.
 
     ``jobs=None`` uses ``os.cpu_count()``.  Results come back sorted
@@ -157,13 +172,30 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
     exhaust their attempts land in :attr:`RunReport.failures` instead
     of aborting the sweep.  Quarantined cells are never written to the
     cache, so partial runs cannot poison later sweeps.
+
+    ``backend="dist"`` hands the pending cells to the fault-tolerant
+    distributed master (:mod:`repro.harness.dist`): lease-based
+    assignment over worker processes, heartbeats, journal + resume.
+    ``dist_options`` (workers/journal/resume/bind/...) are forwarded to
+    :func:`repro.harness.dist.master.run_distributed`.  Cache serving,
+    cache writing, and result ordering are identical across backends —
+    which is what makes local and distributed sweeps of the same cells
+    produce the same cells fingerprint.
+
+    A ``KeyboardInterrupt`` during any backend drains instead of
+    propagating: already-settled results and failures are returned
+    with :attr:`RunReport.interrupted` set, so callers can flush a
+    partial artifact.
     """
+    if backend not in ("local", "dist"):
+        raise ValueError(f"unknown backend {backend!r} "
+                         "(expected 'local' or 'dist')")
     if jobs is None:
         jobs = multiprocessing.cpu_count()
     if jobs < 1:
         raise ValueError(f"jobs must be >= 1, got {jobs}")
     started = time.perf_counter()
-    report = RunReport(jobs=jobs)
+    report = RunReport(jobs=jobs, backend=backend)
     faults = resolve_faults(faults)
     execute = functools.partial(execute_cell, checks=checks, faults=faults,
                                 watchdog=watchdog, telemetry=telemetry)
@@ -192,29 +224,60 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
             report.cache_misses += 1
             pending.append(cell)
 
-    if timeout_s is not None:
-        successes, failures = run_supervised(
+    if backend == "dist":
+        from repro.harness.dist.master import run_distributed
+
+        successes, failures, interrupted = run_distributed(
+            pending, timeout_s=timeout_s, retries=retries,
+            backoff_base=backoff_base, checks=checks, faults=faults,
+            watchdog=watchdog, progress=progress, telemetry=telemetry,
+            **(dist_options or {}))
+        executed = [CellResult(cell=s.cell, metrics=s.metrics,
+                               wall_clock_s=s.wall_clock_s, worker=s.worker,
+                               attempts=s.attempts,
+                               attempt_log=list(s.attempt_log))
+                    for s in successes]
+        report.failures = sorted(failures, key=lambda f: f.key)
+        report.interrupted = interrupted
+    elif timeout_s is not None:
+        successes, failures, interrupted = run_supervised(
             pending, jobs=jobs, timeout_s=timeout_s, retries=retries,
             backoff_base=backoff_base, checks=checks, faults=faults,
             watchdog=watchdog, progress=progress, telemetry=telemetry)
-        executed = [CellResult(cell=cell, metrics=metrics, wall_clock_s=wall)
-                    for cell, metrics, wall in successes]
+        executed = [CellResult(cell=s.cell, metrics=s.metrics,
+                               wall_clock_s=s.wall_clock_s,
+                               attempts=s.attempts,
+                               attempt_log=list(s.attempt_log))
+                    for s in successes]
         report.failures = sorted(failures, key=lambda f: f.key)
+        report.interrupted = interrupted
     elif len(pending) > 1 and jobs > 1:
         ctx = _pool_context()
-        with ctx.Pool(processes=min(jobs, len(pending))) as pool:
-            executed = []
+        executed = []
+        pool = ctx.Pool(processes=min(jobs, len(pending)))
+        try:
             for result in pool.imap(execute, pending, chunksize=1):
                 executed.append(result)
                 if progress is not None:
                     progress(f"{result.key}: {result.wall_clock_s:.2f}s")
+            pool.close()
+        except KeyboardInterrupt:
+            # Same drain contract as the supervised/dist paths: keep
+            # what already settled, flush a partial artifact upstream.
+            report.interrupted = True
+            pool.terminate()
+        finally:
+            pool.join()
     else:
         executed = []
-        for cell in pending:
-            result = execute(cell)
-            executed.append(result)
-            if progress is not None:
-                progress(f"{result.key}: {result.wall_clock_s:.2f}s")
+        try:
+            for cell in pending:
+                result = execute(cell)
+                executed.append(result)
+                if progress is not None:
+                    progress(f"{result.key}: {result.wall_clock_s:.2f}s")
+        except KeyboardInterrupt:
+            report.interrupted = True
 
     for result in executed:
         if cache is not None:
@@ -228,6 +291,7 @@ def run_cells(cells: Sequence[Cell], jobs: Optional[int] = None,
     if sink is not None:
         sink.emit("sweep.end", ok=len(report.results),
                   failed=len(report.failures),
+                  interrupted=report.interrupted,
                   cache_hits=report.cache_hits,
                   cache_misses=report.cache_misses,
                   elapsed_s=round(report.elapsed_s, 6))

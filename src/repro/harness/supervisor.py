@@ -41,10 +41,15 @@ from dataclasses import dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from repro.errors import InvariantViolation, SimulationStalled
-from repro.harness.registry import Cell, run_cell
+from repro.harness.registry import Cell, cell_budget, run_cell
 
-#: The failure taxonomy, in display order.
-FAILURE_KINDS = ("timeout", "crash", "divergence", "check-violation")
+#: The failure taxonomy, in display order.  ``worker-lost`` is the
+#: distributed backend's kind (see :mod:`repro.harness.dist`): the
+#: *worker* died or went silent, not the cell's own code — distinct
+#: from a cell-level ``crash`` so retry budgets and dashboards can
+#: tell infrastructure failures from simulation failures.
+FAILURE_KINDS = ("timeout", "crash", "divergence", "check-violation",
+                 "worker-lost")
 
 #: Default per-cell wall-clock budget (seconds).  The slowest quick
 #: cell finishes in single-digit seconds on any hardware CI uses; two
@@ -62,6 +67,29 @@ _TERM_GRACE_S = 2.0
 
 #: Poll granularity of the supervision loop (seconds).
 _POLL_S = 0.02
+
+
+@dataclass
+class SuccessRecord:
+    """One completed cell with its execution provenance.
+
+    ``worker`` is the executing worker's identity (``None`` for the
+    local supervised pool), ``attempts`` counts executions including
+    the successful one, and ``attempt_log`` records any failed
+    attempts that preceded it — the raw material of artifact schema
+    v3's per-cell attempt history.
+    """
+
+    cell: Cell
+    metrics: Dict[str, Any]
+    wall_clock_s: float
+    worker: Optional[str] = None
+    attempts: int = 1
+    attempt_log: List[Dict[str, Any]] = field(default_factory=list)
+
+    @property
+    def key(self) -> str:
+        return self.cell.key
 
 
 @dataclass
@@ -195,13 +223,15 @@ class _Task:
 class _Running:
     """One live worker process and its result pipe."""
 
-    __slots__ = ("task", "process", "conn", "deadline")
+    __slots__ = ("task", "process", "conn", "deadline", "budget")
 
-    def __init__(self, task: _Task, process, conn, deadline: float):
+    def __init__(self, task: _Task, process, conn, deadline: float,
+                 budget: Optional[float]):
         self.task = task
         self.process = process
         self.conn = conn
         self.deadline = deadline
+        self.budget = budget
 
 
 def run_supervised(cells: Sequence[Cell], jobs: int,
@@ -212,14 +242,21 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
                    watchdog: Any = False,
                    progress: Optional[Callable[[str], None]] = None,
                    telemetry: Optional[str] = None,
-                   ) -> Tuple[List[Tuple[Cell, Dict[str, float], float]],
-                              List[FailureRecord]]:
+                   ) -> Tuple[List[SuccessRecord], List[FailureRecord], bool]:
     """Execute *cells* under supervision; never raises for a cell.
 
-    Returns ``(successes, failures)`` where each success is
-    ``(cell, metrics, wall_clock_s)`` and each failure is a finalized
+    Returns ``(successes, failures, interrupted)`` where each success
+    is a :class:`SuccessRecord` and each failure a finalized
     :class:`FailureRecord`.  Every input cell appears in exactly one of
-    the two lists, so the sweep always completes.  With ``telemetry``
+    the two lists — unless the sweep was interrupted (``SIGINT``), in
+    which case in-flight and not-yet-started cells appear in neither:
+    the drain path kills running workers, keeps everything already
+    settled, and reports ``interrupted=True`` so callers can flush a
+    partial artifact instead of dying with a raw traceback.  ``timeout_s``
+    is the sweep-wide deadline; experiments that registered a
+    :func:`~repro.harness.registry.register_timeout_hint` budget get
+    the larger of the two (see
+    :func:`~repro.harness.registry.cell_budget`).  With ``telemetry``
     set, retry and quarantine decisions are logged from this process
     and each worker appends its own cell span and gauges.
     """
@@ -237,7 +274,7 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
     ready.reverse()               # pop() from the end preserves order
     waiting: List[_Task] = []     # backoff gate not yet open
     running: List[_Running] = []
-    successes: List[Tuple[Cell, Dict[str, float], float]] = []
+    successes: List[SuccessRecord] = []
     failures: List[FailureRecord] = []
 
     def launch(task: _Task) -> None:
@@ -249,9 +286,10 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
         process.start()
         send_conn.close()         # parent keeps only the read end
         task.attempts += 1
-        deadline = (float("inf") if timeout_s is None
-                    else time.perf_counter() + timeout_s)
-        running.append(_Running(task, process, recv_conn, deadline))
+        budget = cell_budget(task.cell, timeout_s)
+        deadline = (float("inf") if budget is None
+                    else time.perf_counter() + budget)
+        running.append(_Running(task, process, recv_conn, deadline, budget))
 
     def settle_attempt(task: _Task, kind: str, message: str,
                        detail: Dict[str, Any], wall: float) -> None:
@@ -299,7 +337,10 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
             if payload[0] == "ok":
                 _, metrics, wall = payload
                 task.wall_clock_s += wall
-                successes.append((task.cell, metrics, wall))
+                successes.append(SuccessRecord(
+                    cell=task.cell, metrics=metrics, wall_clock_s=wall,
+                    attempts=task.attempts,
+                    attempt_log=list(task.attempt_log)))
                 if progress is not None:
                     note = " (retry)" if task.attempts > 1 else ""
                     progress(f"{task.key}: {wall:.2f}s{note}")
@@ -314,8 +355,7 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
                        f"worker exited with code {code} before reporting",
                        {"exitcode": code}, 0.0)
 
-    def kill(entry: _Running) -> None:
-        running.remove(entry)
+    def terminate(entry: _Running) -> None:
         process = entry.process
         process.terminate()
         process.join(_TERM_GRACE_S)
@@ -323,18 +363,38 @@ def run_supervised(cells: Sequence[Cell], jobs: int,
             process.kill()
             process.join()
         entry.conn.close()
-        settle_attempt(entry.task, "timeout",
-                       f"exceeded the per-cell deadline of {timeout_s:g}s",
-                       {"timeout_s": timeout_s},
-                       timeout_s if timeout_s is not None else 0.0)
 
+    def kill(entry: _Running) -> None:
+        running.remove(entry)
+        terminate(entry)
+        budget = entry.budget
+        settle_attempt(entry.task, "timeout",
+                       f"exceeded the per-cell deadline of {budget:g}s",
+                       {"timeout_s": budget},
+                       budget if budget is not None else 0.0)
+
+    interrupted = False
     try:
         _supervise_loop(ready, waiting, running, jobs, launch, reap, kill)
+    except KeyboardInterrupt:
+        # Graceful drain: kill in-flight workers without settling their
+        # cells (they are neither successes nor failures — simply not
+        # run), keep everything already settled, and hand the partial
+        # outcome back so the caller can flush artifacts and the
+        # failure manifest with an `interrupted` marker.
+        interrupted = True
+        for entry in list(running):
+            running.remove(entry)
+            terminate(entry)
+        if sink is not None:
+            sink.emit("sweep.interrupted", settled=len(successes),
+                      failed=len(failures),
+                      abandoned=len(ready) + len(waiting))
     finally:
         if sink is not None:
             sink.close()
 
-    return successes, failures
+    return successes, failures, interrupted
 
 
 def _supervise_loop(ready, waiting, running, jobs, launch, reap, kill) -> None:

@@ -93,6 +93,68 @@ def _headline(cells: List[Dict[str, Any]]) -> List[str]:
                    "vegas/reno"], rows)
 
 
+def _dist_section(doc: Dict[str, Any],
+                  events: Optional[List[Dict[str, Any]]]) -> List[str]:
+    """Per-worker and lease/retry/heartbeat counters of a dist run.
+
+    Provenance comes from the artifact's v3 fields (``worker``,
+    ``attempts`` per cell); lease-table counters come from the
+    ``dist.*`` telemetry events when a JSONL was recorded.
+    """
+    cells = doc["cells"]
+    lines: List[str] = []
+    by_worker: Dict[str, List[Dict[str, Any]]] = defaultdict(list)
+    for cell in cells:
+        if cell.get("worker"):
+            by_worker[cell["worker"]].append(cell)
+    if by_worker:
+        rows = []
+        for worker in sorted(by_worker):
+            executed = by_worker[worker]
+            walls = [c.get("wall_clock_s", 0.0) for c in executed]
+            retried = sum(1 for c in executed if c.get("attempts", 1) > 1)
+            rows.append([worker, len(executed), retried,
+                         f"{sum(walls):.2f}", f"{max(walls):.2f}"])
+        lines.append("### Per-worker cells")
+        lines.append("")
+        lines.extend(markdown_table(
+            ["worker", "cells", "retried", "total s", "max s"], rows))
+    if events is not None:
+        counters = {
+            "workers joined": "dist.worker.join",
+            "workers lost": "dist.worker.lost",
+            "workers respawned": "dist.worker.respawn",
+            "leases granted": "dist.lease.grant",
+            "leases expired": "dist.lease.expire",
+            "stale results dropped": "dist.stale",
+            "attempts retried": "dist.retry",
+            "cells quarantined": "dist.quarantine",
+            "degraded to local pool": "dist.degrade",
+        }
+        counts: Dict[str, int] = defaultdict(int)
+        for event in events:
+            counts[event["event"]] += 1
+        rows = [[label, counts[name]] for label, name in counters.items()
+                if counts[name]]
+        if rows:
+            if lines:
+                lines.append("")
+            lines.append("### Lease / heartbeat counters")
+            lines.append("")
+            lines.extend(markdown_table(["counter", "count"], rows))
+        lost = [e for e in events if e["event"] == "dist.worker.lost"]
+        if lost:
+            reasons: Dict[str, int] = defaultdict(int)
+            for event in lost:
+                reasons[event.get("reason", "?")] += 1
+            lines.append("")
+            for reason in sorted(reasons):
+                lines.append(f"- worker loss `{reason}`: {reasons[reason]}")
+    if not lines:
+        lines.append("(no per-worker provenance recorded)")
+    return lines
+
+
 def _telemetry_section(events: List[Dict[str, Any]]) -> List[str]:
     lines: List[str] = []
     counts: Dict[str, int] = defaultdict(int)
@@ -130,9 +192,10 @@ def _telemetry_section(events: List[Dict[str, Any]]) -> List[str]:
         lines.append("")
         lines.append("### Gauges")
         lines.append("")
-        lines.append(f"- {len(gauges)} samples"
-                     + (f", median engine rate ~{sorted(rates)[len(rates) // 2]:,.0f} events/s"
-                        if rates else ""))
+        median_rate = (f", median engine rate "
+                       f"~{sorted(rates)[len(rates) // 2]:,.0f} events/s"
+                       if rates else "")
+        lines.append(f"- {len(gauges)} samples{median_rate}")
         for name in sorted(depth_peak):
             lines.append(f"- queue `{name}`: peak depth {depth_peak[name]}, "
                          f"{drops_last[name]} drops")
@@ -161,6 +224,10 @@ def render_report(doc: Dict[str, Any],
                  f"{run.get('cell_wall_clock_s', 0.0):.1f}s)")
     lines.append(f"- cache: {hits} hits / {misses} misses "
                  f"({hit_ratio:.0%} hit ratio)")
+    if run.get("backend", "local") != "local":
+        lines.append(f"- backend: **{run['backend']}**"
+                     + (" — **interrupted (partial)**"
+                        if run.get("interrupted") else ""))
     if doc.get("src_hash"):
         lines.append(f"- src hash: `{doc['src_hash'][:16]}`")
 
@@ -209,6 +276,19 @@ def render_report(doc: Dict[str, Any],
               str(f.get("message", ""))[:60]] for f in failures]))
     else:
         lines.append("none — every cell completed.")
+
+    dist_run = (run.get("backend") == "dist"
+                or any(e["event"].startswith("dist.")
+                       for e in events or ()))
+    if dist_run:
+        lines.append("")
+        lines.append("## Distributed backend")
+        lines.append("")
+        if run.get("interrupted"):
+            lines.append("**Run was interrupted (drained); cells below "
+                         "are the settled subset.**")
+            lines.append("")
+        lines.extend(_dist_section(doc, events))
 
     lines.append("")
     lines.append("## Vegas vs Reno")

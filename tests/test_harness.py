@@ -304,13 +304,16 @@ class TestArtifacts:
     def test_build_document_from_report(self):
         report = run_cells(CHEAP_CELLS[:1], jobs=1)
         doc = build_document(report, mode="quick", src_hash="abc")
-        assert doc["schema_version"] == "repro-harness/v2"
+        assert doc["schema_version"] == "repro-harness/v3"
         assert doc["src_hash"] == "abc"
         assert doc["run"]["cells"] == 1
+        assert doc["run"]["backend"] == "local"
+        assert doc["run"]["interrupted"] is False
         cell = doc["cells"][0]
         assert cell["key"] == CHEAP_CELLS[0].key
         assert cell["params"] == {"cc": "reno", "seed": 0, "size_kb": 5}
         assert cell["metrics"]["throughput_kbps"] > 0
+        assert cell["worker"] is None and cell["attempts"] == 1
 
 
 class TestCheck:

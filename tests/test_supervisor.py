@@ -124,7 +124,8 @@ class TestTaxonomy:
 
     def test_taxonomy_is_closed(self):
         assert set(FAILURE_KINDS) == {
-            "timeout", "crash", "divergence", "check-violation"}
+            "timeout", "crash", "divergence", "check-violation",
+            "worker-lost"}
 
 
 class TestBackoff:
