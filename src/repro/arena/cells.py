@@ -20,7 +20,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Union
 
 from repro.apps.bulk import BulkSink, BulkTransfer
 from repro.arena.scenarios import Scenario, get_scenario
@@ -46,9 +46,14 @@ class FlowOutcome:
     done: bool
 
 
-def run_cohort(schemes: Sequence[str], scenario: str,
+def run_cohort(schemes: Sequence[str], scenario: Union[str, Scenario],
                seed: int = 0) -> List[FlowOutcome]:
     """Run one flow per entry of *schemes* through *scenario*.
+
+    *scenario* is a registered scenario name or a :class:`Scenario`
+    instance — the scenario-search driver builds anonymous parameterized
+    scenarios (:func:`repro.arena.scenarios.custom_scenario`) that never
+    enter the named registry.
 
     Topology follows the fairness experiment: each flow gets a private
     source/sink host pair and access links into a shared two-router
@@ -57,7 +62,8 @@ def run_cohort(schemes: Sequence[str], scenario: str,
     would synchronize slow-start and measure the phase effect, not the
     schemes.  Outcomes are returned in flow order (``schemes`` order).
     """
-    spec: Scenario = get_scenario(scenario)
+    spec: Scenario = (scenario if isinstance(scenario, Scenario)
+                      else get_scenario(scenario))
     factories = [cc_factory(name) for name in schemes]
     sim = Simulator()
     topo = Topology(sim)

@@ -52,6 +52,7 @@ class Standing:
     wins: int = 0
     draws: int = 0
     losses: int = 0
+    no_contests: int = 0
     duel_throughput: List[float] = field(default_factory=list)
     duel_fairness: List[float] = field(default_factory=list)
     solo_throughput: List[float] = field(default_factory=list)
@@ -77,10 +78,17 @@ class Standing:
 
 
 def duel_outcome(a_throughput: float, b_throughput: float,
-                 margin: float = DRAW_MARGIN) -> int:
-    """Score one duel: +1 = ``a`` wins, 0 = draw, -1 = ``b`` wins."""
+                 margin: float = DRAW_MARGIN) -> Optional[int]:
+    """Score one duel: +1 = ``a`` wins, 0 = draw, -1 = ``b`` wins.
+
+    When *both* goodputs are ≤ 0 (an outage where neither flow moved
+    data) there is nothing to share and nothing to win: the duel is a
+    no-contest, returned as ``None``, and must not award points.
+    """
     best = max(a_throughput, b_throughput)
-    if best <= 0 or abs(a_throughput - b_throughput) <= margin * best:
+    if best <= 0:
+        return None
+    if abs(a_throughput - b_throughput) <= margin * best:
         return 0
     return 1 if a_throughput > b_throughput else -1
 
@@ -117,7 +125,10 @@ def compute_standings(cells: Cells,
             a_rate = metrics["a_throughput_kbps"]
             b_rate = metrics["b_throughput_kbps"]
             outcome = duel_outcome(a_rate, b_rate)
-            if outcome > 0:
+            if outcome is None:
+                entry_a.no_contests += 1
+                entry_b.no_contests += 1
+            elif outcome > 0:
                 entry_a.wins += 1
                 entry_b.losses += 1
             elif outcome < 0:
@@ -126,8 +137,9 @@ def compute_standings(cells: Cells,
             else:
                 entry_a.draws += 1
                 entry_b.draws += 1
-            entry_a.duel_throughput.append(a_rate)
-            entry_b.duel_throughput.append(b_rate)
+            if outcome is not None:
+                entry_a.duel_throughput.append(a_rate)
+                entry_b.duel_throughput.append(b_rate)
             fairness = metrics.get("fairness_index")
             if fairness is not None:
                 entry_a.duel_fairness.append(fairness)
@@ -154,6 +166,7 @@ def _standings_table(standings: Sequence[Standing]) -> List[str]:
         rows.append([
             rank, entry.scheme, entry.points,
             f"{entry.wins}-{entry.draws}-{entry.losses}",
+            entry.no_contests or "",
             _fmt(_mean(entry.duel_fairness), ".3f"),
             _fmt(_mean(entry.solo_throughput)),
             _fmt(_mean(entry.solo_rtt_ms)),
@@ -164,7 +177,7 @@ def _standings_table(standings: Sequence[Standing]) -> List[str]:
             entry.incomplete or "",
         ])
     return markdown_table(
-        ["#", "scheme", "pts", "W-D-L", "duel fair", "solo KB/s",
+        ["#", "scheme", "pts", "W-D-L", "NC", "duel fair", "solo KB/s",
          "solo RTT ms", "solo retx KB", "mix KB/s", "cross KB/s",
          "mix fair", "DNF"], rows)
 
@@ -194,7 +207,8 @@ def render_league(cells: Cells, title: str = "Arena league") -> str:
                              for k in sorted(by_mode)) + ")")
     lines.append(f"- scenarios: {', '.join(scenarios)}")
     lines.append(f"- scoring: win {WIN_POINTS} / draw {DRAW_POINTS} "
-                 f"(draw = goodput within {DRAW_MARGIN:.0%})")
+                 f"(draw = goodput within {DRAW_MARGIN:.0%}; duels where "
+                 f"neither flow moved data are no-contests, NC, no points)")
     lines.append("")
     lines.append("## Overall standings")
     lines.append("")

@@ -148,3 +148,46 @@ def get_scenario(name: str) -> Scenario:
         raise ConfigurationError(
             f"unknown arena scenario {name!r}; "
             f"available: {available_scenarios()}") from None
+
+
+def custom_scenario(bandwidth_kbps: float, delay_ms: float, buffers: int,
+                    transfer_kb: int, loss: float = 0.0,
+                    horizon: Optional[float] = None,
+                    name: str = "custom") -> Scenario:
+    """Build an anonymous :class:`Scenario` from raw point parameters.
+
+    This is the parameterized-construction path the scenario-search
+    driver (:mod:`repro.search`) uses: a search point names bandwidth /
+    latency / queue / transfer size directly instead of picking from
+    :data:`SCENARIOS`.  Validation mirrors what the named scenarios
+    guarantee by construction; the horizon, when not given, is sized so
+    the cohort could drain ~4x its total bytes at the bottleneck rate
+    (clamped to keep pathological corners bounded).
+    """
+    if not bandwidth_kbps > 0:
+        raise ConfigurationError(
+            f"scenario bandwidth must be positive, got {bandwidth_kbps!r}")
+    if not delay_ms >= 0:
+        raise ConfigurationError(
+            f"scenario delay must be >= 0 ms, got {delay_ms!r}")
+    if buffers < 1:
+        raise ConfigurationError(
+            f"scenario buffers must be >= 1, got {buffers!r}")
+    if transfer_kb < 1:
+        raise ConfigurationError(
+            f"scenario transfer size must be >= 1 KB, got {transfer_kb!r}")
+    if not 0.0 <= loss < 1.0:
+        raise ConfigurationError(
+            f"scenario loss must be in [0, 1), got {loss!r}")
+    if horizon is None:
+        drain_s = 4.0 * transfer_kb / bandwidth_kbps
+        horizon = min(240.0, max(30.0, 10.0 + drain_s))
+    return Scenario(
+        name=name,
+        description=(f"search point: {bandwidth_kbps:g} KB/s, "
+                     f"{delay_ms:g} ms, {buffers} buffers, "
+                     f"{transfer_kb} KB transfers, loss {loss:g}"),
+        bandwidth=kbps(bandwidth_kbps), delay=ms(delay_ms),
+        buffers=int(buffers), access_delay=ms(5),
+        transfer_bytes=kb(int(transfer_kb)), horizon=float(horizon),
+        loss=float(loss))

@@ -26,6 +26,8 @@ Usage::
     python -m repro check r.json baselines/expected.json --tolerance 0.15
     python -m repro report r.json --telemetry run.jsonl
     python -m repro arena --quick --json arena.json --out league.md
+    python -m repro search --objective vegas_regret --strategy genetic --budget 40 --seed 1
+    python -m repro search --objective fairness_cliff --quick --budget 6 --json search.json
     python -m repro traces
     python -m repro traces --scenario lte --seed 0
     python -m repro traces --scenario steps --export steps.trace
@@ -703,6 +705,10 @@ def build_parser() -> argparse.ArgumentParser:
     from repro.arena import command as arena_command
 
     arena_command.configure_parser(sub)
+
+    from repro.search import command as search_command
+
+    search_command.configure_parser(sub)
 
     check_cmd = sub.add_parser(
         "check",

@@ -90,7 +90,20 @@ class LeaseTable:
         self.retries = retries
         self.backoff_base = backoff_base
         self.lease_grace_s = lease_grace_s
-        self.pending: List[DistTask] = [DistTask(cell) for cell in cells]
+        # Longest-first packing: granting the biggest declared budgets
+        # first keeps a 1,000-flow cell from becoming the straggler tail
+        # of the sweep.  The sort is stable and keyed on the *declared*
+        # budget only, so it cannot change any cell's metrics — artifact
+        # fingerprints stay backend-independent (results are re-sorted
+        # by key downstream).  ``None`` budgets (unsupervised runs) are
+        # unbounded, so they sort first.
+        def _declared(cell: Cell) -> float:
+            budget = cell_budget(cell, timeout_s)
+            return float("inf") if budget is None else budget
+
+        self.pending: List[DistTask] = [
+            DistTask(cell)
+            for cell in sorted(cells, key=_declared, reverse=True)]
         self.leases: Dict[str, Lease] = {}
         self.successes: List[Tuple[DistTask, Dict[str, float], float, str]] = []
         self.failures: List[FailureRecord] = []

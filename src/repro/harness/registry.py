@@ -18,6 +18,7 @@ parameters — never derived from worker identity — which is what makes
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple
 
@@ -245,6 +246,16 @@ def _arena_mix_cell(scheme: str, cross: str, n_cross: int, scenario: str,
     return arena_mix(scheme, cross, n_cross, scenario, seed)
 
 
+def _search_cohort_cell(schemes: str, bw_kbps: float, delay_ms: float,
+                        buffers: int, size_kb: int, loss: float,
+                        seed: int) -> Dict[str, float]:
+    from repro.search.cells import run_search_cohort
+
+    return run_search_cohort(schemes=schemes, bw_kbps=bw_kbps,
+                             delay_ms=delay_ms, buffers=buffers,
+                             size_kb=size_kb, loss=loss, seed=seed)
+
+
 _RUNNERS: Dict[str, Callable[..., Dict[str, float]]] = {
     "table1": _table1_cell,
     "table2": _table2_cell,
@@ -262,6 +273,7 @@ _RUNNERS: Dict[str, Callable[..., Dict[str, float]]] = {
     "arena_solo": _arena_solo_cell,
     "arena_duel": _arena_duel_cell,
     "arena_mix": _arena_mix_cell,
+    "search_cohort": _search_cohort_cell,
 }
 
 
@@ -395,9 +407,18 @@ def _many_flows_family(flows=None, seeds=(0,)) -> List[Cell]:
             for n in counts for seed in seeds]
 
 
+def _search_family(objective: str = "vegas_regret", count: int = 4,
+                   seed: int = 0, quick: bool = False) -> List[Cell]:
+    from repro.search.driver import family_preview_cells
+
+    return family_preview_cells(objective, count=count, seed=seed,
+                                quick=quick)
+
+
 _FAMILIES: Dict[str, Callable[..., List[Cell]]] = {
     "arena": _arena_family,
     "many_flows": _many_flows_family,
+    "search": _search_family,
 }
 
 
@@ -449,12 +470,39 @@ def register_timeout_hint(experiment: str, hint: Any) -> None:
 
 
 def timeout_hint(cell: Cell) -> Optional[float]:
-    """The declared budget of *cell* in seconds, or ``None``."""
+    """The declared budget of *cell* in seconds, or ``None``.
+
+    Hints are validated here, at use time, because a callable hint only
+    misbehaves once it sees a concrete params dict — and the supervisor
+    and dist master both call this mid-sweep, where a raw ``TypeError``
+    or a NaN deadline would otherwise surface as an opaque crash.
+    """
     hint = _TIMEOUT_HINTS.get(cell.experiment)
     if hint is None:
         return None
-    value = hint(cell.as_dict()) if callable(hint) else hint
-    return float(value) if value is not None else None
+    if callable(hint):
+        try:
+            value = hint(cell.as_dict())
+        except Exception as exc:
+            raise ReproError(
+                f"timeout hint for experiment {cell.experiment!r} raised "
+                f"{type(exc).__name__} on cell {cell.key!r}: {exc}") from exc
+    else:
+        value = hint
+    if value is None:
+        return None
+    try:
+        seconds = float(value)
+    except (TypeError, ValueError) as exc:
+        raise ReproError(
+            f"timeout hint for experiment {cell.experiment!r} returned "
+            f"non-numeric budget {value!r} for cell {cell.key!r}") from exc
+    if math.isnan(seconds) or seconds <= 0:
+        raise ReproError(
+            f"timeout hint for experiment {cell.experiment!r} returned "
+            f"invalid budget {seconds!r} for cell {cell.key!r} "
+            f"(must be a positive number of seconds)")
+    return seconds
 
 
 def cell_budget(cell: Cell,
@@ -479,6 +527,14 @@ def cell_budget(cell: Cell,
 # global timeout (quick cells keep the tight default).
 register_timeout_hint(
     "many_flows", lambda params: max(180.0, 1.2 * params.get("flows", 0)))
+
+# Search points range over arbitrary cohort sizes and horizons; give
+# each flow a generous slice so a slow corner of the space quarantines
+# on its own merits rather than on the sweep-wide default.
+register_timeout_hint(
+    "search_cohort",
+    lambda params: max(150.0,
+                       30.0 * len(str(params.get("schemes", "")).split("+"))))
 
 
 def register_experiment(name: str,

@@ -84,9 +84,12 @@ def _headline(cells: List[Dict[str, Any]]) -> List[str]:
             if not reno.get(metric) or not vegas.get(metric):
                 continue
             r, v = _mean(reno[metric]), _mean(vegas[metric])
-            ratio = v / r if r else float("inf")
+            # A zero reference has no meaningful ratio; ``float("inf")``
+            # would also serialise as non-compliant ``Infinity`` when the
+            # rows land in JSON artifacts, so emit None and render "n/a".
+            ratio = v / r if r else None
             rows.append([exp, metric, f"{r:.1f}", f"{v:.1f}",
-                         f"{ratio:.2f}x"])
+                         f"{ratio:.2f}x" if ratio is not None else "n/a"])
     if not rows:
         return ["(no cells carry a reno/vegas protocol parameter)"]
     return markdown_table(["experiment", "metric", "reno mean", "vegas mean",

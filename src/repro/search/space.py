@@ -1,0 +1,222 @@
+"""Frozen, hashable search spaces over scenario parameters.
+
+A :class:`SearchSpace` is a tuple of named :class:`Dimension`\\ s; a
+**point** is a plain ``{name: value}`` dict with one entry per
+dimension.  Dimensions know how to sample, clip, mutate, blend, and
+enumerate themselves, so strategies stay generic over the space.
+
+Continuous samples are quantized to four significant digits.  Cell
+keys render floats with ``format(v, "g")``, so quantizing here
+guarantees a point's values round-trip bit-identically through the
+cell key — which is what makes the content-hash cache and the
+regression baseline line up with the search artifact.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Tuple
+
+from repro.errors import ConfigurationError
+
+#: Dimension kinds.
+UNIFORM = "uniform"
+LOG = "log"
+INTEGER = "int"
+CHOICE = "choice"
+
+Point = Dict[str, Any]
+
+
+def _quantize(value: float) -> float:
+    """Round to 4 significant digits (stable through cell-key ``%g``)."""
+    return float(format(value, ".4g"))
+
+
+@dataclass(frozen=True)
+class Dimension:
+    """One named axis of a search space.
+
+    Build through the factory classmethods (:meth:`uniform`,
+    :meth:`log_uniform`, :meth:`integer`, :meth:`choice`) — they
+    validate bounds once so every later operation can assume a
+    well-formed axis.
+    """
+
+    name: str
+    kind: str
+    low: float = 0.0
+    high: float = 0.0
+    choices: Tuple[Any, ...] = ()
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    @classmethod
+    def uniform(cls, name: str, low: float, high: float) -> "Dimension":
+        """A continuous axis sampled uniformly on ``[low, high]``."""
+        cls._check_bounds(name, low, high)
+        return cls(name, UNIFORM, low=float(low), high=float(high))
+
+    @classmethod
+    def log_uniform(cls, name: str, low: float, high: float) -> "Dimension":
+        """A continuous axis sampled uniformly in log space."""
+        cls._check_bounds(name, low, high)
+        if low <= 0:
+            raise ConfigurationError(
+                f"dimension {name!r}: log-uniform bounds must be "
+                f"positive, got low={low!r}")
+        return cls(name, LOG, low=float(low), high=float(high))
+
+    @classmethod
+    def integer(cls, name: str, low: int, high: int) -> "Dimension":
+        """An integer axis sampled uniformly on ``[low, high]``."""
+        cls._check_bounds(name, low, high)
+        return cls(name, INTEGER, low=int(low), high=int(high))
+
+    @classmethod
+    def choice(cls, name: str, *options: Any) -> "Dimension":
+        """A categorical axis over an explicit option tuple."""
+        if len(options) < 1:
+            raise ConfigurationError(
+                f"dimension {name!r}: choice needs at least one option")
+        return cls(name, CHOICE, choices=tuple(options))
+
+    @staticmethod
+    def _check_bounds(name: str, low: float, high: float) -> None:
+        if not low < high:
+            raise ConfigurationError(
+                f"dimension {name!r}: bounds must satisfy low < high, "
+                f"got [{low!r}, {high!r}]")
+
+    # ------------------------------------------------------------------
+    # Operations (all deterministic given *rng*)
+    # ------------------------------------------------------------------
+    def sample(self, rng: random.Random) -> Any:
+        """One seeded draw from the axis."""
+        if self.kind == UNIFORM:
+            return _quantize(rng.uniform(self.low, self.high))
+        if self.kind == LOG:
+            return _quantize(math.exp(rng.uniform(math.log(self.low),
+                                                  math.log(self.high))))
+        if self.kind == INTEGER:
+            return rng.randint(int(self.low), int(self.high))
+        return self.choices[rng.randrange(len(self.choices))]
+
+    def clip(self, value: Any) -> Any:
+        """Project *value* back inside the axis."""
+        if self.kind == CHOICE:
+            return value if value in self.choices else self.choices[0]
+        if self.kind == INTEGER:
+            return int(min(max(value, self.low), self.high))
+        return _quantize(min(max(value, self.low), self.high))
+
+    def mutate(self, value: Any, rng: random.Random,
+               scale: float = 0.25) -> Any:
+        """A seeded local perturbation of *value* (genetic mutation)."""
+        if self.kind == CHOICE:
+            return self.choices[rng.randrange(len(self.choices))]
+        if self.kind == INTEGER:
+            span = max(1, round(scale * (self.high - self.low)))
+            return self.clip(value + rng.randint(-span, span))
+        if self.kind == LOG:
+            spread = scale * (math.log(self.high) - math.log(self.low))
+            return self.clip(math.exp(math.log(max(value, self.low))
+                                      + rng.gauss(0.0, spread)))
+        return self.clip(value + rng.gauss(0.0,
+                                           scale * (self.high - self.low)))
+
+    def blend(self, a: Any, b: Any, rng: random.Random) -> Any:
+        """Seeded crossover of two parent values."""
+        if self.kind == CHOICE:
+            return a if rng.random() < 0.5 else b
+        t = rng.random()
+        if self.kind == INTEGER:
+            return self.clip(round(t * a + (1.0 - t) * b))
+        if self.kind == LOG:
+            return self.clip(math.exp(t * math.log(max(a, self.low))
+                                      + (1.0 - t)
+                                      * math.log(max(b, self.low))))
+        return self.clip(t * a + (1.0 - t) * b)
+
+    def refine(self, center: Any, span: float, levels: int) -> List[Any]:
+        """Deterministic candidate values around *center*.
+
+        *span* is the surviving fraction of the axis (grid-refine
+        halves it every round); categorical axes ignore it and always
+        return every option.
+        """
+        if self.kind == CHOICE:
+            return list(self.choices)
+        if levels < 2:
+            return [self.clip(center)]
+        if self.kind == LOG:
+            lo, hi = math.log(self.low), math.log(self.high)
+            mid = math.log(max(center, self.low))
+            half = span * (hi - lo) / 2.0
+            points = [mid - half + i * (2.0 * half) / (levels - 1)
+                      for i in range(levels)]
+            values = [self.clip(math.exp(p)) for p in points]
+        else:
+            half = span * (self.high - self.low) / 2.0
+            points = [center - half + i * (2.0 * half) / (levels - 1)
+                      for i in range(levels)]
+            values = [self.clip(p) for p in points]
+        unique: List[Any] = []
+        for value in values:
+            if value not in unique:
+                unique.append(value)
+        return unique
+
+    def describe(self) -> Dict[str, Any]:
+        """JSON-shaped description for the search artifact."""
+        doc: Dict[str, Any] = {"name": self.name, "kind": self.kind}
+        if self.kind == CHOICE:
+            doc["choices"] = list(self.choices)
+        else:
+            doc["low"], doc["high"] = self.low, self.high
+        return doc
+
+
+@dataclass(frozen=True)
+class SearchSpace:
+    """An ordered, hashable tuple of dimensions."""
+
+    dimensions: Tuple[Dimension, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        if not self.dimensions:
+            raise ConfigurationError("a search space needs >= 1 dimension")
+        names = [dim.name for dim in self.dimensions]
+        if len(set(names)) != len(names):
+            raise ConfigurationError(
+                f"duplicate dimension names in search space: {names}")
+
+    @classmethod
+    def of(cls, *dimensions: Dimension) -> "SearchSpace":
+        return cls(tuple(dimensions))
+
+    @property
+    def names(self) -> Tuple[str, ...]:
+        return tuple(dim.name for dim in self.dimensions)
+
+    def dimension(self, name: str) -> Dimension:
+        for dim in self.dimensions:
+            if dim.name == name:
+                return dim
+        raise ConfigurationError(
+            f"search space has no dimension {name!r} "
+            f"(axes: {list(self.names)})")
+
+    def sample(self, rng: random.Random) -> Point:
+        """One seeded point, dimension order fixed by the space."""
+        return {dim.name: dim.sample(rng) for dim in self.dimensions}
+
+    def freeze(self, point: Point) -> Tuple[Tuple[str, Any], ...]:
+        """A hashable identity for *point* (dedup / leaderboard keys)."""
+        return tuple(sorted(point.items()))
+
+    def describe(self) -> List[Dict[str, Any]]:
+        return [dim.describe() for dim in self.dimensions]

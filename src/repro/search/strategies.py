@@ -1,0 +1,190 @@
+"""Seeded ask/tell search strategies.
+
+Every strategy follows the same two-call protocol the driver speaks:
+
+* :meth:`Strategy.ask` proposes a batch of candidate points;
+* :meth:`Strategy.tell` feeds back ``(point, fitness)`` pairs, where
+  fitness is already **maximization-normalized** by the driver (the
+  objective's ``min`` direction is sign-flipped before it gets here)
+  and ``None`` marks a failed evaluation.
+
+The driver may truncate an asked batch to the remaining budget, so a
+strategy can never assume it hears back about everything it proposed.
+
+Determinism contract: a strategy owns a single ``random.Random(seed)``
+and consumes it only inside ``ask``/``tell``, so the full proposal
+sequence is a pure function of ``(space, seed, fitness feedback)`` —
+and the fitnesses themselves are deterministic because every cell is
+seeded.  Same space + seed + budget ⇒ identical evaluation sequence.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.errors import ConfigurationError
+from repro.search.space import Point, SearchSpace
+
+Evaluation = Tuple[Point, Optional[float]]
+
+#: Fitness assigned to failed evaluations when a strategy must rank.
+FAILED_FITNESS = float("-inf")
+
+
+class Strategy:
+    """Base: seeded proposal state over one search space."""
+
+    name = "?"
+
+    def __init__(self, space: SearchSpace, seed: int):
+        self.space = space
+        self.seed = seed
+        self.rng = random.Random(seed)
+
+    def ask(self) -> List[Point]:
+        raise NotImplementedError
+
+    def tell(self, evaluations: Sequence[Evaluation]) -> None:
+        raise NotImplementedError
+
+
+class RandomStrategy(Strategy):
+    """Pure seeded random search — the baseline every paper demands."""
+
+    name = "random"
+
+    def __init__(self, space: SearchSpace, seed: int, batch: int = 8):
+        super().__init__(space, seed)
+        self.batch = batch
+
+    def ask(self) -> List[Point]:
+        return [self.space.sample(self.rng) for _ in range(self.batch)]
+
+    def tell(self, evaluations: Sequence[Evaluation]) -> None:
+        pass  # memoryless
+
+
+class GridRefineStrategy(Strategy):
+    """Coordinate grid-refine: axial sweeps around the incumbent.
+
+    Each round proposes the incumbent plus ``levels`` values per
+    dimension across the current span (categoricals contribute every
+    option), re-centers on the best point seen so far, and halves the
+    span — a deterministic pattern search that converges onto a local
+    basin while the early wide rounds still cover the space.
+    """
+
+    name = "grid"
+
+    def __init__(self, space: SearchSpace, seed: int, levels: int = 3):
+        super().__init__(space, seed)
+        if levels < 2:
+            raise ConfigurationError(
+                f"grid-refine needs levels >= 2, got {levels}")
+        self.levels = levels
+        self.span = 1.0
+        self.center: Point = space.sample(self.rng)
+        self.best_fitness: Optional[float] = None
+
+    def ask(self) -> List[Point]:
+        candidates = [dict(self.center)]
+        for dim in self.space.dimensions:
+            for value in dim.refine(self.center[dim.name], self.span,
+                                    self.levels):
+                if value == self.center[dim.name]:
+                    continue
+                point = dict(self.center)
+                point[dim.name] = value
+                candidates.append(point)
+        self.span *= 0.5
+        return candidates
+
+    def tell(self, evaluations: Sequence[Evaluation]) -> None:
+        for point, fitness in evaluations:
+            if fitness is None:
+                continue
+            if self.best_fitness is None or fitness > self.best_fitness:
+                self.best_fitness = fitness
+                self.center = dict(point)
+
+
+class GeneticStrategy(Strategy):
+    """Small steady-state genetic search.
+
+    Seeds a random population, then each round breeds ``batch``
+    children by tournament selection + per-dimension blend crossover +
+    seeded mutation, and keeps the best ``population`` individuals.
+    Failed evaluations enter the pool at ``-inf`` so they are bred
+    away from, not resampled.
+    """
+
+    name = "genetic"
+
+    def __init__(self, space: SearchSpace, seed: int, population: int = 8,
+                 batch: int = 4, tournament: int = 3,
+                 mutate_p: float = 0.25):
+        super().__init__(space, seed)
+        if population < 2:
+            raise ConfigurationError(
+                f"genetic search needs population >= 2, got {population}")
+        self.population = population
+        self.batch = batch
+        self.tournament = tournament
+        self.mutate_p = mutate_p
+        self.pool: List[Tuple[Point, float]] = []
+
+    def ask(self) -> List[Point]:
+        if len(self.pool) < self.population:
+            missing = self.population - len(self.pool)
+            return [self.space.sample(self.rng) for _ in range(missing)]
+        children = []
+        for _ in range(self.batch):
+            mother = self._select()
+            father = self._select()
+            child = {dim.name: dim.blend(mother[dim.name], father[dim.name],
+                                         self.rng)
+                     for dim in self.space.dimensions}
+            for dim in self.space.dimensions:
+                if self.rng.random() < self.mutate_p:
+                    child[dim.name] = dim.mutate(child[dim.name], self.rng)
+            children.append(child)
+        return children
+
+    def _select(self) -> Point:
+        """Tournament: best of k seeded picks (lowest index on ties)."""
+        k = min(self.tournament, len(self.pool))
+        contenders = sorted(self.rng.sample(range(len(self.pool)), k))
+        best = contenders[0]
+        for index in contenders[1:]:
+            if self.pool[index][1] > self.pool[best][1]:
+                best = index
+        return self.pool[best][0]
+
+    def tell(self, evaluations: Sequence[Evaluation]) -> None:
+        for point, fitness in evaluations:
+            self.pool.append(
+                (point, FAILED_FITNESS if fitness is None else fitness))
+        # Stable sort: ties keep insertion (= evaluation) order, which
+        # keeps survivor selection deterministic across runs.
+        self.pool.sort(key=lambda entry: -entry[1])
+        del self.pool[self.population:]
+
+
+STRATEGIES: Dict[str, Type[Strategy]] = {
+    RandomStrategy.name: RandomStrategy,
+    GridRefineStrategy.name: GridRefineStrategy,
+    GeneticStrategy.name: GeneticStrategy,
+}
+
+
+def make_strategy(name: str, space: SearchSpace, seed: int,
+                  **options) -> Strategy:
+    """Instantiate a strategy by registry name."""
+    try:
+        cls = STRATEGIES[name]
+    except KeyError:
+        raise ConfigurationError(
+            f"unknown search strategy {name!r} "
+            f"(available: {sorted(STRATEGIES)})") from None
+    return cls(space, seed, **options)

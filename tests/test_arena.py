@@ -215,7 +215,29 @@ class TestLeagueMath:
         assert league.duel_outcome(50.0, 100.0) == -1
         assert league.duel_outcome(100.0, 96.0) == 0   # within 5%
         assert league.duel_outcome(100.0, 94.0) == 1   # outside 5%
-        assert league.duel_outcome(0.0, 0.0) == 0
+
+    def test_duel_outcome_no_contest(self):
+        # Both goodputs <= 0 (outage, nobody moved data): a no-contest,
+        # not a draw — awarding draw points here inflated standings.
+        assert league.duel_outcome(0.0, 0.0) is None
+        assert league.duel_outcome(-1.0, 0.0) is None
+        # One live flow is still a win, however small.
+        assert league.duel_outcome(0.5, 0.0) == 1
+        assert league.duel_outcome(0.0, 0.5) == -1
+
+    def test_no_contest_awards_no_points(self):
+        cells = [_duel("a", "b", 0.0, 0.0),      # no-contest
+                 _duel("a", "b", 100, 99)]       # genuine draw
+        table = {s.scheme: s for s in league.compute_standings(cells)}
+        for scheme in ("a", "b"):
+            assert table[scheme].points == 1      # the draw only
+            assert table[scheme].draws == 1
+            assert table[scheme].no_contests == 1
+            assert table[scheme].duels == 1       # NC not a contested duel
+            # The dead duel's zero goodput must not drag the mean down.
+            assert table[scheme].duel_throughput in ([100], [99])
+        text = league.render_league(cells)
+        assert "NC" in text
 
     def test_points_and_record(self):
         cells = [_duel("a", "b", 100, 50),      # a beats b

@@ -115,6 +115,28 @@ class TestLeaseTable:
         return LeaseTable(cs, timeout_s=timeout_s, retries=retries,
                           backoff_base=0.05, lease_grace_s=1.0, **kw)
 
+    def test_grants_longest_declared_budget_first(self):
+        # Longest-first packing: a 1,000-flow cell granted FIFO-last
+        # was the straggler tail of every dist sweep (ROADMAP PR 9
+        # headroom).  The pending queue orders by declared cell_budget
+        # descending, so the big cells lease out first.
+        small = [chaos("ok", seed=i) for i in range(2)]      # 10s default
+        big = Cell.make("many_flows", flows=1000, seed=0)     # 1200s hint
+        medium = Cell.make("many_flows", flows=200, seed=0)   # 240s hint
+        table = LeaseTable(small + [medium, big], timeout_s=10.0,
+                           retries=0, lease_grace_s=1.0)
+        granted = [table.grant(f"w{i}", now=0.0).task.cell
+                   for i in range(4)]
+        assert granted[0] == big
+        assert granted[1] == medium
+        # Equal budgets keep their submission order (stable sort).
+        assert granted[2:] == small
+
+    def test_unsupervised_queue_keeps_submission_order(self):
+        cells = [chaos("ok", seed=i) for i in range(3)]
+        table = LeaseTable(cells, timeout_s=None, retries=0)
+        assert [t.cell for t in table.pending] == cells
+
     def test_grant_sizes_deadline_from_budget_plus_grace(self):
         table = self._table(timeout_s=10.0)
         lease = table.grant("w1", now=100.0)
@@ -236,6 +258,48 @@ class TestTimeoutHints:
         finally:
             unregister_experiment("hintx")
         assert "hintx" not in _TIMEOUT_HINTS  # unregister cleans hints
+
+    @pytest.mark.parametrize("hint, match", [
+        (lambda params: 1 / 0, "raised ZeroDivisionError"),
+        (lambda params: float("nan"), "invalid budget"),
+        (lambda params: -5.0, "invalid budget"),
+        (0.0, "invalid budget"),
+        (lambda params: "soon", "non-numeric budget"),
+    ])
+    def test_bad_hints_raise_a_clear_error_naming_the_experiment(
+            self, hint, match):
+        # A raising / negative / NaN hint used to pass through
+        # unvalidated and crash the supervisor or dist master
+        # mid-sweep; now it's a typed ReproError at use time.
+        from repro.harness.registry import (
+            register_experiment,
+            unregister_experiment,
+        )
+
+        register_experiment("badhint", lambda seed: {"m": 0.0})
+        register_timeout_hint("badhint", hint)
+        cell = Cell.make("badhint", seed=0)
+        try:
+            with pytest.raises(ReproError, match=match) as excinfo:
+                cell_budget(cell, 10.0)
+            assert "badhint" in str(excinfo.value)
+        finally:
+            unregister_experiment("badhint")
+
+    def test_bad_hint_fails_fast_when_building_the_lease_table(self):
+        from repro.harness.registry import (
+            register_experiment,
+            unregister_experiment,
+        )
+
+        register_experiment("badhint2", lambda seed: {"m": 0.0})
+        register_timeout_hint("badhint2", lambda params: float("nan"))
+        try:
+            with pytest.raises(ReproError, match="badhint2"):
+                LeaseTable([Cell.make("badhint2", seed=0)],
+                           timeout_s=10.0, retries=0)
+        finally:
+            unregister_experiment("badhint2")
 
 
 # ----------------------------------------------------------------------

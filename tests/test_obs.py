@@ -239,6 +239,15 @@ class TestReport:
         assert "timeout: 1" in text
         assert "50% hit ratio" in text
 
+    def test_zero_reference_headline_renders_na_not_infinity(self):
+        # A 0.0 reno reference used to emit float("inf"), which
+        # json.dumps writes as non-compliant `Infinity` in artifacts.
+        doc = self._doc()
+        doc["cells"][0]["metrics"]["throughput_kbps"] = 0.0
+        text = render_report(doc)
+        assert "n/a" in text
+        assert "inf" not in text.lower()
+
     def test_render_includes_telemetry_sections(self):
         events = [
             {"event": "cell.start", "span_id": "a:1", "ts": 1.0},
